@@ -1,0 +1,240 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one testing.B benchmark per artifact — see DESIGN.md
+// §3). Each iteration runs the full experiment at a small dataset
+// scale; custom metrics surface the experiment's headline number so
+// `go test -bench=. -benchmem` doubles as a results dashboard.
+// cmd/ssam-bench runs the same experiments at arbitrary scale with
+// full table output.
+package ssam_test
+
+import (
+	"testing"
+
+	"ssam/internal/bench"
+)
+
+func benchOpts() bench.Options {
+	return bench.Options{Scale: 0.0012, Queries: 3, VectorLength: 8}
+}
+
+func BenchmarkTableI_InstructionMix(b *testing.B) {
+	var linearVec float64
+	for i := 0; i < b.N; i++ {
+		rows := bench.TableI(benchOpts())
+		linearVec = rows[0].VectorPct
+	}
+	b.ReportMetric(linearVec, "linear-vector-%")
+}
+
+func BenchmarkTableIII_Power(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		r := bench.TableIIIReport()
+		total = float64(len(r.Rows))
+	}
+	b.ReportMetric(total, "design-points")
+}
+
+func BenchmarkTableIV_Area(b *testing.B) {
+	var rows float64
+	for i := 0; i < b.N; i++ {
+		r := bench.TableIVReport()
+		rows = float64(len(r.Rows))
+	}
+	b.ReportMetric(rows, "design-points")
+}
+
+func BenchmarkTableV_DistanceMetrics(b *testing.B) {
+	var hamming float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableV(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hamming = rows[0].Hamming
+	}
+	b.ReportMetric(hamming, "glove-hamming-x")
+}
+
+func BenchmarkTableVI_AutomataProcessor(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableVI(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].SSAM4 / rows[0].APGen2
+	}
+	b.ReportMetric(ratio, "glove-ssam/ap2-x")
+}
+
+func BenchmarkFigure2_AccuracySweep(b *testing.B) {
+	var points float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Figure2(benchOpts())
+		points = float64(len(pts))
+	}
+	b.ReportMetric(points, "curve-points")
+}
+
+func BenchmarkFigure6_CrossPlatform(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cpu, ssam float64
+		for _, r := range rows {
+			if r.Dataset != "gist" {
+				continue
+			}
+			switch r.Platform {
+			case "cpu-xeon-e5-2620":
+				cpu = r.AreaNormQPS
+			case "ssam-8":
+				ssam = r.AreaNormQPS
+			}
+		}
+		ratio = ssam / cpu
+	}
+	b.ReportMetric(ratio, "gist-ssam/cpu-area-norm-x")
+}
+
+func BenchmarkFigure7_IndexedSSAM(b *testing.B) {
+	var points float64
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = float64(len(pts))
+	}
+	b.ReportMetric(points, "curve-points")
+}
+
+func BenchmarkPQueueAblation(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.PQAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[len(rows)-1].SpeedupPct
+	}
+	b.ReportMetric(speedup, "ssam16-hwq-speedup-%")
+}
+
+func BenchmarkFixedPoint(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		rows := bench.FixedPoint(benchOpts())
+		recall = rows[0].Recall
+	}
+	b.ReportMetric(recall, "glove-fixed-recall")
+}
+
+func BenchmarkIndexConstruction(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := bench.IndexConstruction(benchOpts())
+		ratio = rows[0].Ratio
+	}
+	b.ReportMetric(ratio, "kdtree-build/query-x")
+}
+
+func BenchmarkKMeansOffload(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.KMeansOffload(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[0].Speedup
+	}
+	b.ReportMetric(speedup, "k4-device-speedup-x")
+}
+
+func BenchmarkEnergyModel(b *testing.B) {
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.EnergyPerQuery(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = rows[len(rows)-1].QueryEnergyJ
+	}
+	b.ReportMetric(energy*1e6, "ssam16-uJ/query")
+}
+
+func BenchmarkClusterScaling(b *testing.B) {
+	var qps float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ClusterScaling(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		qps = rows[len(rows)-1].QPS
+	}
+	b.ReportMetric(qps, "4-module-qps")
+}
+
+func BenchmarkDeviceAssistedBuild(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.DeviceAssistedBuild(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = rows[1].Recall
+	}
+	b.ReportMetric(recall, "assisted-recall")
+}
+
+func BenchmarkDeviceIndexSweep(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.DeviceIndexSweep(bench.Options{Scale: 0.005, Queries: 2, VectorLength: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[0].DeviceQPS / rows[0].LinearQPS
+	}
+	b.ReportMetric(speedup, "tree-vs-linear-x")
+}
+
+func BenchmarkDeviceLSHSweep(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.DeviceLSHSweep(bench.Options{Scale: 0.004, Queries: 2, VectorLength: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = rows[1].Recall
+	}
+	b.ReportMetric(recall, "4bit-recall")
+}
+
+func BenchmarkDeviceInstructionMix(b *testing.B) {
+	var vecPct float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.DeviceInstructionMix(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		vecPct = rows[0].VectorPct
+	}
+	b.ReportMetric(vecPct, "euclid-vector-%")
+}
+
+func BenchmarkTCO(b *testing.B) {
+	var servers float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.TCO(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers = float64(res.CPUServers)
+	}
+	b.ReportMetric(servers, "cpu-servers")
+}

@@ -1,0 +1,96 @@
+// Command ssam-asm assembles SSAM kernel source (Table II assembly)
+// into program binaries, disassembles binaries back to text, and can
+// emit the built-in linear-scan kernels the paper's benchmarks use.
+//
+// Usage:
+//
+//	ssam-asm [-o prog.bin] kernel.s          assemble
+//	ssam-asm -d prog.bin                     disassemble
+//	ssam-asm -kernel euclidean -dims 100 -nvec 1000 -vlen 8   emit generated kernel source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssam/internal/asm"
+	"ssam/internal/isa"
+	"ssam/internal/sim"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout for text, required for binaries)")
+	disasm := flag.Bool("d", false, "disassemble a binary program")
+	kernel := flag.String("kernel", "", "emit a generated kernel: euclidean, manhattan, cosine, hamming")
+	dims := flag.Int("dims", 128, "kernel dimensions (bits for hamming)")
+	nvec := flag.Int("nvec", 1024, "kernel database size")
+	vlen := flag.Int("vlen", 8, "kernel vector length")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ssam-asm: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *kernel != "" {
+		var src string
+		switch *kernel {
+		case "euclidean":
+			src = sim.EuclideanKernel(*dims, *nvec, *vlen)
+		case "manhattan":
+			src = sim.ManhattanKernel(*dims, *nvec, *vlen)
+		case "cosine":
+			src = sim.CosineKernel(*dims, *nvec, *vlen)
+		case "hamming":
+			src = sim.HammingKernel(sim.HammingWords(*dims), *nvec, *vlen)
+		default:
+			fail(fmt.Errorf("unknown kernel %q", *kernel))
+		}
+		if err := emit(*out, []byte(src)); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ssam-asm [-o out] [-d] file | -kernel name [-dims N -nvec N -vlen N]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	if *disasm {
+		prog, err := isa.DecodeProgram(data)
+		if err != nil {
+			fail(err)
+		}
+		if err := emit(*out, []byte(asm.Disassemble(prog))); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	prog, err := asm.Assemble(string(data))
+	if err != nil {
+		fail(err)
+	}
+	bin := isa.EncodeProgram(prog)
+	if *out == "" {
+		fail(fmt.Errorf("assembling produces a binary; -o is required"))
+	}
+	if err := os.WriteFile(*out, bin, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("assembled %d instructions (%d bytes) -> %s\n", len(prog), len(bin), *out)
+}
+
+func emit(path string, data []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,84 @@
+// Command ssam-bench regenerates any table or figure of the SSAM
+// paper's evaluation.
+//
+// Usage:
+//
+//	ssam-bench -exp table1|table2|table3|table4|table5|table6|fig2|fig6|fig7|pqueue|fixed|tco|all
+//	           [-scale 0.004] [-queries 10] [-vlen 8]
+//
+// Scale shrinks the synthetic datasets relative to the paper's 1M+
+// vectors; results the paper reports at full scale are extrapolated
+// (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssam/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, all)")
+	scale := flag.Float64("scale", 0.004, "dataset scale relative to the paper's sizes (0,1]")
+	queries := flag.Int("queries", 10, "queries per measurement point")
+	vlen := flag.Int("vlen", 8, "SSAM vector length (2, 4, 8, 16)")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	o := bench.Options{Scale: *scale, Queries: *queries, VectorLength: *vlen}
+
+	runners := map[string]func() (bench.Report, error){
+		"table1":   func() (bench.Report, error) { return bench.TableIReport(o), nil },
+		"table2":   func() (bench.Report, error) { return bench.TableIIReport(), nil },
+		"table3":   func() (bench.Report, error) { return bench.TableIIIReport(), nil },
+		"table4":   func() (bench.Report, error) { return bench.TableIVReport(), nil },
+		"table5":   func() (bench.Report, error) { return bench.TableVReport(o) },
+		"table6":   func() (bench.Report, error) { return bench.TableVIReport(o) },
+		"fig2":     func() (bench.Report, error) { return bench.Figure2Report(o), nil },
+		"fig6":     func() (bench.Report, error) { return bench.Figure6Report(o) },
+		"fig7":     func() (bench.Report, error) { return bench.Figure7Report(o) },
+		"pqueue":   func() (bench.Report, error) { return bench.PQAblationReport(o) },
+		"fixed":    func() (bench.Report, error) { return bench.FixedPointReport(o), nil },
+		"tco":      func() (bench.Report, error) { return bench.TCOReport(o) },
+		"build":    func() (bench.Report, error) { return bench.IndexConstructionReport(o), nil },
+		"offload":  func() (bench.Report, error) { return bench.KMeansOffloadReport(o) },
+		"energy":   func() (bench.Report, error) { return bench.EnergyPerQueryReport(o) },
+		"cluster":  func() (bench.Report, error) { return bench.ClusterScalingReport(o) },
+		"devbuild": func() (bench.Report, error) { return bench.DeviceAssistedBuildReport(o) },
+		"devindex": func() (bench.Report, error) { return bench.DeviceIndexSweepReport(o) },
+		"devlsh":   func() (bench.Report, error) { return bench.DeviceLSHSweepReport(o) },
+		"devmix":   func() (bench.Report, error) { return bench.DeviceInstructionMixReport(o) },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig2", "fig6", "fig7", "pqueue", "fixed", "tco", "build", "offload",
+		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster"}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ssam-bench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		r, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssam-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			if err := r.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ssam-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		default:
+			r.Print(os.Stdout)
+		}
+		fmt.Println()
+	}
+}

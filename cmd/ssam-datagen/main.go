@@ -1,0 +1,105 @@
+// Command ssam-datagen generates the synthetic evaluation datasets
+// (GloVe-, GIST- and AlexNet-like Gaussian mixtures) in the formats
+// the other tools consume: float32 or device fixed-point int32 words,
+// little-endian, row-major, with the held-out queries in a sibling
+// file.
+//
+// Usage:
+//
+//	ssam-datagen -dataset glove [-scale 0.01] [-fixed] [-vlen 8] -o glove
+//
+// writes glove.data.bin and glove.query.bin plus a glove.meta line on
+// stdout.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"ssam/internal/dataset"
+	"ssam/internal/sim"
+)
+
+func main() {
+	name := flag.String("dataset", "glove", "glove, gist or alexnet")
+	scale := flag.Float64("scale", 0.01, "scale relative to the paper's dataset size")
+	fixed := flag.Bool("fixed", false, "emit device fixed-point int32 words (padded per -vlen) instead of float32")
+	vlen := flag.Int("vlen", 8, "device vector length used for padding in -fixed mode")
+	out := flag.String("o", "", "output prefix (required)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "ssam-datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fail(fmt.Errorf("-o prefix is required"))
+	}
+
+	var spec dataset.Spec
+	switch *name {
+	case "glove":
+		spec = dataset.GloVeSpec(*scale)
+	case "gist":
+		spec = dataset.GISTSpec(*scale)
+	case "alexnet":
+		spec = dataset.AlexNetSpec(*scale)
+	default:
+		fail(fmt.Errorf("unknown dataset %q", *name))
+	}
+	ds := dataset.Generate(spec)
+
+	if *fixed {
+		shift := sim.DeviceShift(ds.Dim())
+		padded := sim.PadDims(ds.Dim(), *vlen)
+		if err := writeFixed(*out+".data.bin", ds.Data, ds.Dim(), padded, shift); err != nil {
+			fail(err)
+		}
+		flatQ := make([]float32, 0, len(ds.Queries)*ds.Dim())
+		for _, q := range ds.Queries {
+			flatQ = append(flatQ, q...)
+		}
+		if err := writeFixed(*out+".query.bin", flatQ, ds.Dim(), padded, shift); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: n=%d dim=%d padded=%d shift=%d k=%d queries=%d format=int32\n",
+			spec.Name, ds.N(), ds.Dim(), padded, shift, spec.K, len(ds.Queries))
+		return
+	}
+
+	if err := writeFloats(*out+".data.bin", ds.Data); err != nil {
+		fail(err)
+	}
+	flatQ := make([]float32, 0, len(ds.Queries)*ds.Dim())
+	for _, q := range ds.Queries {
+		flatQ = append(flatQ, q...)
+	}
+	if err := writeFloats(*out+".query.bin", flatQ); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: n=%d dim=%d k=%d queries=%d format=float32\n",
+		spec.Name, ds.N(), ds.Dim(), spec.K, len(ds.Queries))
+}
+
+func writeFloats(path string, vals []float32) error {
+	buf := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func writeFixed(path string, vals []float32, dim, padded, shift int) error {
+	rows := len(vals) / dim
+	buf := make([]byte, rows*padded*4)
+	for r := 0; r < rows; r++ {
+		q := sim.QuantizeDevice(vals[r*dim:(r+1)*dim], shift)
+		for i, v := range q {
+			binary.LittleEndian.PutUint32(buf[(r*padded+i)*4:], uint32(v))
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

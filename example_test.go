@@ -1,0 +1,61 @@
+package ssam_test
+
+import (
+	"fmt"
+
+	"ssam"
+)
+
+// Example walks the paper's Fig. 4 driver sequence on a small host
+// region: allocate, copy the dataset in, build, stage a query,
+// execute, read results, free.
+func Example() {
+	// Four 2-d points; the query sits nearest points 0 and 2.
+	data := []float32{
+		0, 0,
+		10, 10,
+		1, 1,
+		-10, 4,
+	}
+	region, err := ssam.New(2, ssam.Config{Mode: ssam.Linear})
+	if err != nil {
+		panic(err)
+	}
+	defer region.Free()
+	if err := region.LoadFloat32(data); err != nil {
+		panic(err)
+	}
+	if err := region.BuildIndex(); err != nil { // nbuild_index
+		panic(err)
+	}
+	if err := region.WriteQuery([]float32{0.4, 0.4}); err != nil { // nwrite_query
+		panic(err)
+	}
+	if err := region.Exec(2); err != nil { // nexec
+		panic(err)
+	}
+	results, err := region.ReadResult() // nread_result
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("id=%d dist=%.2f\n", r.ID, r.Dist)
+	}
+	// Output:
+	// id=0 dist=0.32
+	// id=2 dist=0.72
+}
+
+// ExampleRegion_Search shows the convenience wrapper over the staged
+// sequence.
+func ExampleRegion_Search() {
+	data := []float32{1, 2, 3, 100, 100, 100, 1.5, 2.5, 3.5}
+	region, _ := ssam.New(3, ssam.Config{})
+	defer region.Free()
+	_ = region.LoadFloat32(data)
+	_ = region.BuildIndex()
+	res, _ := region.Search([]float32{1, 2, 3}, 1)
+	fmt.Println(res[0].ID)
+	// Output:
+	// 0
+}

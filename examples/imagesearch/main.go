@@ -1,0 +1,129 @@
+// Imagesearch walks the paper's Fig. 1 content-based search pipeline
+// end to end: (a) feature extraction over a synthetic image corpus,
+// (b) index construction, (c) query generation, (d) index traversal +
+// (e) k-nearest-neighbor search, and (f) reverse lookup from neighbor
+// ids back to the original media records.
+//
+// The "feature extractor" here is a deterministic stand-in (a fixed
+// random projection of raw pixel statistics) for the GIST/CNN
+// extractors the paper cites — feature extraction is offline and out
+// of scope for SSAM itself.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ssam"
+)
+
+// image is one record of the multimedia database.
+type image struct {
+	Name   string
+	Pixels []float32 // raw "pixels" (synthetic)
+}
+
+const (
+	numImages  = 4000
+	pixelDim   = 256
+	featureDim = 96
+	k          = 10
+)
+
+// extractFeatures is the stage-(a) feature descriptor: a fixed random
+// projection plus nonlinearity, shared by corpus and queries.
+func extractFeatures(proj [][]float32, pixels []float32) []float32 {
+	out := make([]float32, len(proj))
+	for j, row := range proj {
+		var acc float32
+		for i, p := range row {
+			acc += p * pixels[i]
+		}
+		if acc < 0 { // ReLU-style nonlinearity
+			acc = 0
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Shared projection weights for the descriptor.
+	proj := make([][]float32, featureDim)
+	for j := range proj {
+		row := make([]float32, pixelDim)
+		for i := range row {
+			row[i] = float32(rng.NormFloat64()) / 16
+		}
+		proj[j] = row
+	}
+
+	// (a) Build the multimedia corpus: clusters of near-duplicate
+	// "scenes" so similar content exists to find.
+	scenes := make([][]float32, 64)
+	for s := range scenes {
+		base := make([]float32, pixelDim)
+		for i := range base {
+			base[i] = float32(rng.NormFloat64())
+		}
+		scenes[s] = base
+	}
+	corpus := make([]image, numImages)
+	features := make([]float32, 0, numImages*featureDim)
+	for i := range corpus {
+		s := rng.Intn(len(scenes))
+		px := make([]float32, pixelDim)
+		for j, b := range scenes[s] {
+			px[j] = b + float32(rng.NormFloat64())*0.2
+		}
+		corpus[i] = image{Name: fmt.Sprintf("scene%02d/img%04d.jpg", s, i), Pixels: px}
+		features = append(features, extractFeatures(proj, px)...)
+	}
+
+	// (b) Index construction: a hierarchical k-means tree over the
+	// feature vectors (offline).
+	region, err := ssam.New(featureDim, ssam.Config{
+		Mode:  ssam.KMeans,
+		Index: ssam.IndexParams{Checks: 800, Seed: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer region.Free()
+	if err := region.LoadFloat32(features); err != nil {
+		log.Fatal(err)
+	}
+	if err := region.BuildIndex(); err != nil {
+		log.Fatal(err)
+	}
+
+	// (c) Query generation: a user uploads a new photo of a known
+	// scene; it runs through the same extractor.
+	scene := 17
+	queryPixels := make([]float32, pixelDim)
+	for j, b := range scenes[scene] {
+		queryPixels[j] = b + float32(rng.NormFloat64())*0.2
+	}
+	query := extractFeatures(proj, queryPixels)
+
+	// (d)+(e) Index traversal and kNN search.
+	res, err := region.Search(query, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (f) Reverse lookup: map neighbor ids back to media records.
+	fmt.Printf("query: new photo of scene%02d\ntop-%d similar images:\n", scene, k)
+	correct := 0
+	for _, r := range res {
+		name := corpus[r.ID].Name
+		fmt.Printf("  %-24s dist=%.3f\n", name, r.Dist)
+		if name[:7] == fmt.Sprintf("scene%02d", scene) {
+			correct++
+		}
+	}
+	fmt.Printf("%d/%d results are from the query's scene\n", correct, k)
+}

@@ -1,0 +1,113 @@
+// Wordsearch demonstrates approximate semantic search over word
+// embeddings — the paper's GloVe workload — with hyperplane
+// multi-probe LSH, sweeping the probe count to show the
+// accuracy/throughput trade-off of Fig. 2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ssam"
+)
+
+const (
+	vocab = 20000
+	dim   = 100
+	k     = 6
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Synthetic embedding space: topic clusters with named words.
+	topics := []string{"sports", "music", "food", "science", "travel", "finance"}
+	centers := make([][]float32, len(topics))
+	for t := range centers {
+		c := make([]float32, dim)
+		for i := range c {
+			c[i] = float32(rng.NormFloat64())
+		}
+		centers[t] = c
+	}
+	words := make([]string, vocab)
+	embeddings := make([]float32, 0, vocab*dim)
+	for w := 0; w < vocab; w++ {
+		t := rng.Intn(len(topics))
+		words[w] = fmt.Sprintf("%s_word%05d", topics[t], w)
+		for i := 0; i < dim; i++ {
+			embeddings = append(embeddings, centers[t][i]+float32(rng.NormFloat64())*0.45)
+		}
+	}
+
+	// Exact baseline for recall measurement.
+	exact, err := ssam.New(dim, ssam.Config{Mode: ssam.Linear})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer exact.Free()
+	must(exact.LoadFloat32(embeddings))
+	must(exact.BuildIndex())
+
+	// MPLSH index with the paper's 20 hyperplane bits.
+	approx, err := ssam.New(dim, ssam.Config{
+		Mode:  ssam.MPLSH,
+		Index: ssam.IndexParams{Tables: 4, Bits: 20, Seed: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer approx.Free()
+	must(approx.LoadFloat32(embeddings))
+	must(approx.BuildIndex())
+
+	// Query: a word vector near the "science" topic.
+	query := make([]float32, dim)
+	for i := range query {
+		query[i] = centers[3][i] + float32(rng.NormFloat64())*0.45
+	}
+	exactRes, err := exact.Search(query, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact nearest words:")
+	for _, r := range exactRes {
+		fmt.Printf("  %-22s dist=%.3f\n", words[r.ID], r.Dist)
+	}
+
+	// Sweep probes: accuracy versus throughput.
+	fmt.Printf("\n%-8s %-8s %-10s\n", "probes", "recall", "queries/s")
+	for _, probes := range []int{1, 4, 16, 64} {
+		must(approx.SetChecks(probes))
+		const trials = 200
+		hits := 0
+		start := time.Now()
+		var res []ssam.Result
+		for i := 0; i < trials; i++ {
+			res, err = approx.Search(query, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		in := map[int]bool{}
+		for _, r := range exactRes {
+			in[r.ID] = true
+		}
+		for _, r := range res {
+			if in[r.ID] {
+				hits++
+			}
+		}
+		fmt.Printf("%-8d %-8.2f %-10.0f\n", probes,
+			float64(hits)/float64(k), float64(trials)/elapsed)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ssam
+
+go 1.22

@@ -1,0 +1,258 @@
+package ssam_test
+
+// End-to-end integration tests across the public API: host and device
+// execution agree, indexed modes trade accuracy for work, and regions
+// are safe under concurrent queries.
+
+import (
+	"sync"
+	"testing"
+
+	"ssam"
+	"ssam/internal/dataset"
+	"ssam/internal/vec"
+)
+
+func integrationDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Spec{
+		Name: "integ", N: 2500, Dim: 24, NumQueries: 12, K: 6,
+		Clusters: 10, ClusterStd: 0.25, Seed: 77,
+	})
+}
+
+func build(t *testing.T, ds *dataset.Dataset, cfg ssam.Config) *ssam.Region {
+	t.Helper()
+	r, err := ssam.New(ds.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadFloat32(ds.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func recallAgainst(t *testing.T, ref, probe *ssam.Region, qs [][]float32, k int) float64 {
+	t.Helper()
+	hits, total := 0, 0
+	for _, q := range qs {
+		exact, err := ref.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := probe.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := map[int]bool{}
+		for _, r := range exact {
+			in[r.ID] = true
+		}
+		for _, r := range got {
+			total++
+			if in[r.ID] {
+				hits++
+			}
+		}
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestHostDeviceAgreementAcrossMetrics(t *testing.T) {
+	ds := integrationDataset(t)
+	for _, metric := range []ssam.Metric{ssam.Euclidean, ssam.Manhattan} {
+		host := build(t, ds, ssam.Config{Metric: metric})
+		dev := build(t, ds, ssam.Config{Metric: metric, Execution: ssam.Device, VectorLength: 4})
+		if r := recallAgainst(t, host, dev, ds.Queries, 6); r < 0.9 {
+			t.Errorf("%v: device/host recall = %v", metric, r)
+		}
+		host.Free()
+		dev.Free()
+	}
+}
+
+func TestCosineDeviceRanking(t *testing.T) {
+	// The device cosine fixup is reduced precision; demand majority
+	// top-k agreement rather than exactness.
+	ds := integrationDataset(t)
+	host := build(t, ds, ssam.Config{Metric: ssam.Cosine})
+	dev := build(t, ds, ssam.Config{Metric: ssam.Cosine, Execution: ssam.Device, VectorLength: 4})
+	defer host.Free()
+	defer dev.Free()
+	if r := recallAgainst(t, host, dev, ds.Queries[:6], 6); r < 0.5 {
+		t.Errorf("cosine device/host recall = %v", r)
+	}
+}
+
+func TestIndexedAccuracyKnob(t *testing.T) {
+	ds := integrationDataset(t)
+	exact := build(t, ds, ssam.Config{})
+	defer exact.Free()
+	for _, mode := range []ssam.Mode{ssam.KDTree, ssam.KMeans} {
+		r := build(t, ds, ssam.Config{Mode: mode, Index: ssam.IndexParams{Checks: 32}})
+		low := recallAgainst(t, exact, r, ds.Queries, 6)
+		if err := r.SetChecks(ds.N()); err != nil {
+			t.Fatal(err)
+		}
+		high := recallAgainst(t, exact, r, ds.Queries, 6)
+		if high < low-0.02 {
+			t.Errorf("%v: recall fell when checks rose: %v -> %v", mode, low, high)
+		}
+		if high < 0.95 {
+			t.Errorf("%v: exhaustive recall = %v", mode, high)
+		}
+		r.Free()
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	ds := integrationDataset(t)
+	for _, cfg := range []ssam.Config{
+		{Mode: ssam.Linear},
+		{Mode: ssam.KDTree},
+		{Mode: ssam.MPLSH},
+	} {
+		r := build(t, ds, cfg)
+		var wg sync.WaitGroup
+		errs := make(chan error, len(ds.Queries))
+		for _, q := range ds.Queries {
+			wg.Add(1)
+			go func(q []float32) {
+				defer wg.Done()
+				// Search via a fresh staging sequence per goroutine
+				// would race on the region's staged query; the
+				// supported concurrent pattern is independent regions
+				// or external synchronization. Here we only verify
+				// the read-only index structures tolerate parallel
+				// traversal through separate regions sharing data.
+				local, err := ssam.New(ds.Dim(), cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer local.Free()
+				if err := local.LoadFloat32(ds.Data); err != nil {
+					errs <- err
+					return
+				}
+				if err := local.BuildIndex(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := local.Search(q, 4); err != nil {
+					errs <- err
+				}
+			}(q)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		r.Free()
+	}
+}
+
+func TestDeviceHammingEndToEnd(t *testing.T) {
+	ds := integrationDataset(t)
+	codes := ds.ToBinary()
+	dev, err := ssam.New(ds.Dim(), ssam.Config{
+		Metric: ssam.Hamming, Execution: ssam.Device, VectorLength: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Free()
+	if err := dev.LoadBinary(codes); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	host, err := ssam.New(ds.Dim(), ssam.Config{Metric: ssam.Hamming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Free()
+	if err := host.LoadBinary(codes); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1234, 2499} {
+		a, err := host.SearchBinary(codes[i], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dev.SearchBinary(codes[i], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j].Dist != b[j].Dist {
+				t.Fatalf("query %d result %d: host %v device %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestBinarizationPreservesNeighborhoods(t *testing.T) {
+	// Section II-D: Hamming codes are an effective alternative — the
+	// binarized nearest neighbors should overlap substantially with
+	// the float nearest neighbors on clustered data. Sign binarization
+	// keeps one bit per dimension, so this needs a reasonably
+	// high-dimensional workload to have enough code entropy.
+	ds := dataset.Generate(dataset.Spec{
+		Name: "integ-bin", N: 2500, Dim: 96, NumQueries: 12, K: 10,
+		Clusters: 10, ClusterStd: 0.25, Seed: 78,
+	})
+	host := build(t, ds, ssam.Config{})
+	defer host.Free()
+	codes := ds.ToBinary()
+	ham, err := ssam.New(ds.Dim(), ssam.Config{Metric: ssam.Hamming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ham.Free()
+	if err := ham.LoadBinary(codes); err != nil {
+		t.Fatal(err)
+	}
+	if err := ham.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	means := ds.Means()
+	hits, total := 0, 0
+	for _, q := range ds.Queries {
+		exact, err := host.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := ham.SearchBinary(vec.SignBinarize(q, means), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := map[int]bool{}
+		for _, r := range exact {
+			in[r.ID] = true
+		}
+		for _, r := range approx {
+			total++
+			if in[r.ID] {
+				hits++
+			}
+		}
+	}
+	// Sign binarization (one bit/dim, no learned rotation) resolves
+	// cluster membership but not fine intra-cluster ranking, so the
+	// bar is overlap far above chance (10/N ~ 0.4%), not high recall —
+	// the paper's strong results use carefully constructed codes.
+	chance := 10.0 / float64(ds.N())
+	if frac := float64(hits) / float64(total); frac < 15*chance {
+		t.Fatalf("binarized neighborhood overlap = %v, want >= %v (15x chance)", frac, 15*chance)
+	}
+}

@@ -1,0 +1,108 @@
+package ap
+
+import (
+	"math"
+	"testing"
+)
+
+// Paper workload shapes for Table VI (binarized datasets).
+const (
+	gloveN, gloveBits     = 1200000, 100
+	gistN, gistBits       = 1000000, 960
+	alexnetN, alexnetBits = 1000000, 4096
+)
+
+func TestGen1GloVeMatchesTableVI(t *testing.T) {
+	// Table VI: first-generation AP, GloVe: 288 queries/s. The model
+	// is calibrated; require within 20%.
+	got := Gen1().QPS(gloveN, gloveBits)
+	if math.Abs(got-288)/288 > 0.20 {
+		t.Fatalf("gen1 GloVe QPS = %v, want ~288", got)
+	}
+}
+
+func TestGen2GloVeMatchesTableVI(t *testing.T) {
+	got := Gen2().QPS(gloveN, gloveBits)
+	if math.Abs(got-1117)/1117 > 0.20 {
+		t.Fatalf("gen2 GloVe QPS = %v, want ~1117", got)
+	}
+}
+
+func TestGen2GISTNearTableVI(t *testing.T) {
+	got := Gen2().QPS(gistN, gistBits)
+	if got < 5 || got > 30 {
+		t.Fatalf("gen2 GIST QPS = %v, want ~10.55", got)
+	}
+}
+
+func TestThroughputFallsWithDimensionality(t *testing.T) {
+	// The AP's defining weakness in the paper: high-dimensional
+	// descriptors fit only a handful of vectors per configuration.
+	for _, g := range []Config{Gen1(), Gen2()} {
+		glove := g.QPS(gloveN, gloveBits)
+		gist := g.QPS(gistN, gistBits)
+		alex := g.QPS(alexnetN, alexnetBits)
+		if !(glove > gist && gist > alex) {
+			t.Errorf("%s: throughput not decreasing with dims: %v %v %v",
+				g.Name, glove, gist, alex)
+		}
+		// The drop is orders of magnitude, not marginal.
+		if glove/alex < 50 {
+			t.Errorf("%s: GloVe/AlexNet ratio = %v, want >> 50", g.Name, glove/alex)
+		}
+	}
+}
+
+func TestGen2BeatsGen1(t *testing.T) {
+	cases := []struct{ n, bits int }{
+		{gloveN, gloveBits}, {gistN, gistBits}, {alexnetN, alexnetBits},
+	}
+	for _, c := range cases {
+		if Gen2().QPS(c.n, c.bits) <= Gen1().QPS(c.n, c.bits) {
+			t.Errorf("gen2 not faster at bits=%d", c.bits)
+		}
+	}
+}
+
+func TestVectorsPerConfig(t *testing.T) {
+	g := Gen1()
+	if v := g.VectorsPerConfig(gloveBits); v < 10000 {
+		t.Fatalf("GloVe vectors/config = %d, want many", v)
+	}
+	if v := g.VectorsPerConfig(alexnetBits); v > 20 {
+		t.Fatalf("AlexNet vectors/config = %d, want a handful", v)
+	}
+	if g.VectorsPerConfig(1<<20) != 1 {
+		t.Fatal("oversized vector should still report 1 per config")
+	}
+}
+
+func TestConfigurationsCoverDataset(t *testing.T) {
+	g := Gen1()
+	per := g.VectorsPerConfig(gistBits)
+	cfgs := g.Configurations(gistN, gistBits)
+	if cfgs*per < gistN {
+		t.Fatalf("%d configs x %d vectors < %d", cfgs, per, gistN)
+	}
+	if (cfgs-1)*per >= gistN {
+		t.Fatalf("too many configurations: %d", cfgs)
+	}
+}
+
+func TestBatchingAmortizesReconfig(t *testing.T) {
+	g := Gen1()
+	single := g.BatchQPS(gistN, gistBits, 1)
+	batched := g.BatchQPS(gistN, gistBits, 1000)
+	if batched <= single {
+		t.Fatal("batching should amortize reconfiguration")
+	}
+}
+
+func TestStreamTime(t *testing.T) {
+	g := Gen1()
+	got := g.StreamSecondsPerQuery(1024) // 128 symbols at 133 MHz
+	want := 128.0 / 133e6
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stream time = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,398 @@
+// Package asm implements the SSAM assembler (Section IV: "We also
+// built an assembler and simulator to generate program binaries,
+// benchmark assembly programs, and validate the correctness of our
+// design"). It translates a textual kernel into isa.Inst programs.
+//
+// Syntax, one instruction per line:
+//
+//	; comment, or # comment
+//	label:  ADDI  s1, s0, 42       ; scalar ops use Table II names
+//	loop:   VLOAD v1, s2, 0        ; vector forms take a V prefix
+//	        VSUB  v1, v1, v0
+//	        SFXP  s3, s1, s2       ; scalar fused xor-popcount
+//	        BNE   s1, s4, loop     ; branch targets are labels
+//	        HALT
+//
+// Scalar registers are s0..s31; vector registers are v0..v7. Operand
+// shapes per op:
+//
+//	ADD/SUB/MULT/OR/AND/XOR (and V forms):  rd, rs1, rs2
+//	NOT/POPCOUNT:                           rd, rs1
+//	ADDI/SUBI/MULTI/ANDI/ORI/XORI/SR/SL/SRA: rd, rs1, imm
+//	BNE/BGT/BLT/BE:                         rs1, rs2, label
+//	J:                                      label
+//	PUSH rs1   POP rd
+//	LOAD rd, rs1, imm     (reg[rd] = mem[reg[rs1]+imm])
+//	STORE rd, rs1, imm    (mem[reg[rs1]+imm] = reg[rd])
+//	MEM_FETCH rs1, imm    (prefetch imm words at reg[rs1])
+//	SVMOVE vd, rs1, lane  VSMOVE rd, vs1, lane
+//	PQUEUE_INSERT rs1, rs2   PQUEUE_LOAD rd, imm   PQUEUE_RESET
+//	SFXP/VFXP rd, rs1, rs2   HALT
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ssam/internal/isa"
+)
+
+// mnemonic lookup: name -> op + vector flag.
+type opEntry struct {
+	op     isa.Op
+	vector bool
+}
+
+var mnemonics = buildMnemonics()
+
+func buildMnemonics() map[string]opEntry {
+	m := make(map[string]opEntry)
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		name := op.String()
+		switch op {
+		case isa.FXP:
+			m["SFXP"] = opEntry{op, false}
+			m["FXP"] = opEntry{op, false}
+			m["VFXP"] = opEntry{op, true}
+			continue
+		case isa.SVMOVE, isa.VSMOVE:
+			m[name] = opEntry{op, op == isa.SVMOVE} // SVMOVE writes the vector file
+			continue
+		}
+		m[name] = opEntry{op, false}
+		if op.VectorCapable() {
+			m["V"+name] = opEntry{op, true}
+		}
+	}
+	return m
+}
+
+// Error is an assembly diagnostic with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates source text into a program.
+func Assemble(src string) ([]isa.Inst, error) {
+	lines := strings.Split(src, "\n")
+	labels := make(map[string]int32)
+
+	// Pass 1: label addresses.
+	pc := int32(0)
+	for ln, raw := range lines {
+		text, label, err := splitLine(raw)
+		if err != nil {
+			return nil, &Error{ln + 1, err.Error()}
+		}
+		if label != "" {
+			if _, dup := labels[label]; dup {
+				return nil, &Error{ln + 1, "duplicate label " + label}
+			}
+			labels[label] = pc
+		}
+		if text != "" {
+			pc++
+		}
+	}
+
+	// Pass 2: encode.
+	prog := make([]isa.Inst, 0, pc)
+	for ln, raw := range lines {
+		text, _, _ := splitLine(raw)
+		if text == "" {
+			continue
+		}
+		inst, err := parseInst(text, labels)
+		if err != nil {
+			return nil, &Error{ln + 1, err.Error()}
+		}
+		if err := inst.Validate(); err != nil {
+			return nil, &Error{ln + 1, err.Error()}
+		}
+		prog = append(prog, inst)
+	}
+	// Branch targets must be in range.
+	for i, in := range prog {
+		if in.Op.IsBranch() && (in.Imm < 0 || in.Imm > int32(len(prog))) {
+			return nil, fmt.Errorf("asm: instruction %d: branch target %d out of range", i, in.Imm)
+		}
+	}
+	return prog, nil
+}
+
+// splitLine strips comments and an optional leading "label:", returning
+// the remaining instruction text.
+func splitLine(raw string) (text, label string, err error) {
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", "", nil
+	}
+	if i := strings.Index(raw, ":"); i >= 0 {
+		label = strings.TrimSpace(raw[:i])
+		if label == "" || strings.ContainsAny(label, " \t,") {
+			return "", "", fmt.Errorf("malformed label %q", raw[:i])
+		}
+		raw = strings.TrimSpace(raw[i+1:])
+	}
+	return raw, label, nil
+}
+
+func parseInst(text string, labels map[string]int32) (isa.Inst, error) {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t'
+	})
+	if len(fields) == 0 {
+		return isa.Inst{}, fmt.Errorf("no mnemonic in %q", text)
+	}
+	name := strings.ToUpper(fields[0])
+	ent, ok := mnemonics[name]
+	if !ok {
+		return isa.Inst{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	in := isa.Inst{Op: ent.op, Vector: ent.vector}
+	args := fields[1:]
+
+	reg := func(i int, vector bool) (uint8, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", name, i+1)
+		}
+		return parseReg(args[i], vector)
+	}
+	sreg := func(i int) (uint8, error) { return reg(i, false) }
+	vreg := func(i int) (uint8, error) { return reg(i, true) }
+	imm := func(i int) (int32, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", name, i+1)
+		}
+		return parseImm(args[i], labels)
+	}
+	var err error
+
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.MULT, isa.OR, isa.AND, isa.XOR, isa.FXP:
+		if in.Rd, err = reg(0, in.Vector); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = reg(1, in.Vector); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = reg(2, in.Vector); err != nil {
+			return in, err
+		}
+	case isa.NOT, isa.POPCOUNT:
+		if in.Rd, err = reg(0, in.Vector); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = reg(1, in.Vector); err != nil {
+			return in, err
+		}
+	case isa.ADDI, isa.SUBI, isa.MULTI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SR, isa.SL, isa.SRA:
+		if in.Rd, err = reg(0, in.Vector); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = reg(1, in.Vector); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return in, err
+		}
+	case isa.BNE, isa.BGT, isa.BLT, isa.BE:
+		if in.Rs1, err = reg(0, false); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = reg(1, false); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return in, err
+		}
+	case isa.J:
+		if in.Imm, err = imm(0); err != nil {
+			return in, err
+		}
+	case isa.PUSH:
+		if in.Rs1, err = reg(0, false); err != nil {
+			return in, err
+		}
+	case isa.POP:
+		if in.Rd, err = reg(0, false); err != nil {
+			return in, err
+		}
+	case isa.LOAD, isa.STORE:
+		if in.Rd, err = reg(0, in.Vector); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = sreg(1); err != nil { // address is scalar
+			return in, err
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return in, err
+		}
+	case isa.MEMFETCH:
+		if in.Rs1, err = reg(0, false); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(1); err != nil {
+			return in, err
+		}
+	case isa.SVMOVE: // vd, rs1, lane
+		if in.Rd, err = vreg(0); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = sreg(1); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return in, err
+		}
+	case isa.VSMOVE: // rd, vs1, lane
+		if in.Rd, err = sreg(0); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = vreg(1); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return in, err
+		}
+	case isa.PQUEUEINSERT:
+		if in.Rs1, err = reg(0, false); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = reg(1, false); err != nil {
+			return in, err
+		}
+	case isa.PQUEUELOAD:
+		if in.Rd, err = reg(0, false); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(1); err != nil {
+			return in, err
+		}
+	case isa.PQUEUERESET, isa.HALT:
+		// no operands
+	default:
+		return in, fmt.Errorf("unhandled op %s", in.Op)
+	}
+	return in, nil
+}
+
+func parseReg(s string, vector bool) (uint8, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	kind, numStr := s[0], s[1:]
+	n, err := strconv.Atoi(numStr)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch {
+	case vector && kind == 'v' && n < isa.NumVectorRegs:
+		return uint8(n), nil
+	case !vector && kind == 's' && n < isa.NumScalarRegs:
+		return uint8(n), nil
+	}
+	want := "s"
+	if vector {
+		want = "v"
+	}
+	return 0, fmt.Errorf("bad register %q (want %s-register)", s, want)
+}
+
+func parseImm(s string, labels map[string]int32) (int32, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := labels[s]; ok {
+		return v, nil
+	}
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate or unknown label %q", s)
+	}
+	if n < -1<<31 || n > 1<<31-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", n)
+	}
+	return int32(n), nil
+}
+
+// Disassemble renders a program back to assembler text with
+// synthesized branch labels.
+func Disassemble(prog []isa.Inst) string {
+	targets := make(map[int32]string)
+	for _, in := range prog {
+		if in.Op.IsBranch() {
+			if _, ok := targets[in.Imm]; !ok {
+				targets[in.Imm] = fmt.Sprintf("L%d", len(targets))
+			}
+		}
+	}
+	var b strings.Builder
+	for pc, in := range prog {
+		if lbl, ok := targets[int32(pc)]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		fmt.Fprintf(&b, "\t%s\n", format(in, targets))
+	}
+	if lbl, ok := targets[int32(len(prog))]; ok {
+		fmt.Fprintf(&b, "%s:\n", lbl)
+	}
+	return b.String()
+}
+
+func format(in isa.Inst, targets map[int32]string) string {
+	name := in.Op.String()
+	if in.Vector && in.Op != isa.SVMOVE && in.Op != isa.VSMOVE {
+		if in.Op == isa.FXP {
+			name = "VFXP"
+		} else {
+			name = "V" + name
+		}
+	} else if in.Op == isa.FXP {
+		name = "SFXP"
+	}
+	r := func(n uint8, vector bool) string {
+		if vector {
+			return fmt.Sprintf("v%d", n)
+		}
+		return fmt.Sprintf("s%d", n)
+	}
+	v := in.Vector
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.MULT, isa.OR, isa.AND, isa.XOR, isa.FXP:
+		return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rd, v), r(in.Rs1, v), r(in.Rs2, v))
+	case isa.NOT, isa.POPCOUNT:
+		return fmt.Sprintf("%s %s, %s", name, r(in.Rd, v), r(in.Rs1, v))
+	case isa.ADDI, isa.SUBI, isa.MULTI, isa.ANDI, isa.ORI, isa.XORI, isa.SR, isa.SL, isa.SRA:
+		return fmt.Sprintf("%s %s, %s, %d", name, r(in.Rd, v), r(in.Rs1, v), in.Imm)
+	case isa.BNE, isa.BGT, isa.BLT, isa.BE:
+		return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rs1, false), r(in.Rs2, false), targets[in.Imm])
+	case isa.J:
+		return fmt.Sprintf("%s %s", name, targets[in.Imm])
+	case isa.PUSH:
+		return fmt.Sprintf("%s %s", name, r(in.Rs1, false))
+	case isa.POP:
+		return fmt.Sprintf("%s %s", name, r(in.Rd, false))
+	case isa.LOAD, isa.STORE:
+		return fmt.Sprintf("%s %s, %s, %d", name, r(in.Rd, v), r(in.Rs1, false), in.Imm)
+	case isa.MEMFETCH:
+		return fmt.Sprintf("%s %s, %d", name, r(in.Rs1, false), in.Imm)
+	case isa.SVMOVE:
+		return fmt.Sprintf("%s %s, %s, %d", name, r(in.Rd, true), r(in.Rs1, false), in.Imm)
+	case isa.VSMOVE:
+		return fmt.Sprintf("%s %s, %s, %d", name, r(in.Rd, false), r(in.Rs1, true), in.Imm)
+	case isa.PQUEUEINSERT:
+		return fmt.Sprintf("%s %s, %s", name, r(in.Rs1, false), r(in.Rs2, false))
+	case isa.PQUEUELOAD:
+		return fmt.Sprintf("%s %s, %d", name, r(in.Rd, false), in.Imm)
+	default:
+		return name
+	}
+}

@@ -1,0 +1,189 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"ssam/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) []isa.Inst {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return prog
+}
+
+func TestAssembleBasic(t *testing.T) {
+	prog := mustAssemble(t, `
+		; a tiny program
+		ADDI s1, s0, 10
+		XOR  s2, s2, s2
+	loop:	ADDI s2, s2, 1
+		BLT  s2, s1, loop
+		HALT
+	`)
+	if len(prog) != 5 {
+		t.Fatalf("got %d instructions", len(prog))
+	}
+	if prog[0].Op != isa.ADDI || prog[0].Rd != 1 || prog[0].Imm != 10 {
+		t.Fatalf("inst 0 = %v", prog[0])
+	}
+	if prog[3].Op != isa.BLT || prog[3].Imm != 2 {
+		t.Fatalf("branch = %v, want target 2", prog[3])
+	}
+	if prog[4].Op != isa.HALT {
+		t.Fatalf("last inst = %v", prog[4])
+	}
+}
+
+func TestAssembleVectorForms(t *testing.T) {
+	prog := mustAssemble(t, `
+		VADD v1, v2, v3
+		VLOAD v0, s4, 16
+		VFXP v5, v6, v7
+		SFXP s5, s6, s7
+		SVMOVE v2, s9, -1
+		VSMOVE s9, v2, 3
+		HALT
+	`)
+	if !prog[0].Vector || prog[0].Op != isa.ADD {
+		t.Fatalf("VADD = %v", prog[0])
+	}
+	if !prog[1].Vector || prog[1].Op != isa.LOAD || prog[1].Rs1 != 4 || prog[1].Imm != 16 {
+		t.Fatalf("VLOAD = %v", prog[1])
+	}
+	if !prog[2].Vector || prog[2].Op != isa.FXP {
+		t.Fatalf("VFXP = %v", prog[2])
+	}
+	if prog[3].Vector || prog[3].Op != isa.FXP {
+		t.Fatalf("SFXP = %v", prog[3])
+	}
+	if prog[4].Op != isa.SVMOVE || prog[4].Rd != 2 || prog[4].Rs1 != 9 || prog[4].Imm != -1 {
+		t.Fatalf("SVMOVE = %v", prog[4])
+	}
+	if prog[5].Op != isa.VSMOVE || prog[5].Rd != 9 || prog[5].Rs1 != 2 || prog[5].Imm != 3 {
+		t.Fatalf("VSMOVE = %v", prog[5])
+	}
+}
+
+func TestAssembleQueueAndStack(t *testing.T) {
+	prog := mustAssemble(t, `
+		PQUEUE_RESET
+		PQUEUE_INSERT s1, s2
+		PQUEUE_LOAD s3, 5
+		PUSH s4
+		POP s5
+		MEM_FETCH s6, 128
+		HALT
+	`)
+	if prog[0].Op != isa.PQUEUERESET {
+		t.Fatalf("inst 0 = %v", prog[0])
+	}
+	if prog[1].Op != isa.PQUEUEINSERT || prog[1].Rs1 != 1 || prog[1].Rs2 != 2 {
+		t.Fatalf("insert = %v", prog[1])
+	}
+	if prog[2].Op != isa.PQUEUELOAD || prog[2].Rd != 3 || prog[2].Imm != 5 {
+		t.Fatalf("load = %v", prog[2])
+	}
+	if prog[3].Op != isa.PUSH || prog[3].Rs1 != 4 {
+		t.Fatalf("push = %v", prog[3])
+	}
+	if prog[4].Op != isa.POP || prog[4].Rd != 5 {
+		t.Fatalf("pop = %v", prog[4])
+	}
+	if prog[5].Op != isa.MEMFETCH || prog[5].Rs1 != 6 || prog[5].Imm != 128 {
+		t.Fatalf("fetch = %v", prog[5])
+	}
+}
+
+func TestAssembleHexImmediate(t *testing.T) {
+	prog := mustAssemble(t, "ADDI s1, s0, 0x1000000\nHALT")
+	if prog[0].Imm != 0x1000000 {
+		t.Fatalf("imm = %d", prog[0].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"FROB s1, s2, s3",            // unknown mnemonic
+		"ADD s1, s2",                 // missing operand
+		"ADD s1, s2, v3",             // wrong register file
+		"ADD s1, s2, s32",            // register out of range
+		"VADD v1, v2, v8",            // vector register out of range
+		"BNE s1, s2, nowhere",        // unknown label
+		"x: ADD s1, s1, s1\nx: HALT", // duplicate label
+		"ADDI s1, s0, zzz",           // bad immediate
+		"VPUSH s1",                   // no vector form
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestAssembleForwardBranch(t *testing.T) {
+	prog := mustAssemble(t, `
+		BE s0, s0, done
+		ADDI s1, s1, 1
+	done:	HALT
+	`)
+	if prog[0].Imm != 2 {
+		t.Fatalf("forward branch target = %d, want 2", prog[0].Imm)
+	}
+}
+
+func TestLabelOnOwnLine(t *testing.T) {
+	prog := mustAssemble(t, `
+	start:
+		ADDI s1, s1, 1
+		J start
+	`)
+	if prog[1].Imm != 0 {
+		t.Fatalf("J target = %d, want 0", prog[1].Imm)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		XOR s0, s0, s0
+		ADDI s1, s0, 7
+	loop:	SUBI s1, s1, 1
+		PQUEUE_INSERT s1, s1
+		BGT s1, s0, loop
+		VADD v1, v1, v2
+		SVMOVE v0, s3, 2
+		HALT
+	`
+	prog := mustAssemble(t, src)
+	text := Disassemble(prog)
+	prog2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if len(prog) != len(prog2) {
+		t.Fatalf("length changed: %d -> %d", len(prog), len(prog2))
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Fatalf("inst %d changed: %v -> %v\n%s", i, prog[i], prog2[i], text)
+		}
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	prog := mustAssemble(t, "ADD s1, s1, s1 ; semicolon\nADD s2, s2, s2 # hash\nHALT")
+	if len(prog) != 3 {
+		t.Fatalf("got %d instructions", len(prog))
+	}
+}
+
+func TestErrorReportsLine(t *testing.T) {
+	_, err := Assemble("HALT\nBROKEN s1\nHALT")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 diagnostic", err)
+	}
+}

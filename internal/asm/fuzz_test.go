@@ -1,0 +1,77 @@
+package asm
+
+import (
+	"testing"
+
+	"ssam/internal/isa"
+)
+
+// FuzzAssemble checks the assembler never panics and that anything it
+// accepts is a valid, re-assemblable program.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"HALT",
+		"ADD s1, s2, s3\nHALT",
+		"loop: ADDI s1, s1, 1\nBLT s1, s2, loop\nHALT",
+		"VLOAD v1, s2, 0\nVFXP v3, v1, v2\nHALT",
+		"PQUEUE_INSERT s1, s2\nPQUEUE_LOAD s3, 1\nPQUEUE_RESET",
+		"x: ; comment only\nJ x",
+		"MEM_FETCH s1, 0x100\nSVMOVE v0, s1, -1\nVSMOVE s2, v0, 0",
+		"PUSH s1\nPOP s2\nSFXP s1, s1, s2",
+		"BROKEN nonsense ,,, ###",
+		": :",
+		"ADD\n\n\nADD s1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, in := range prog {
+			if verr := in.Validate(); verr != nil {
+				t.Fatalf("accepted invalid instruction %d (%v): %v", i, in, verr)
+			}
+		}
+		// Accepted programs must survive disassemble/reassemble.
+		text := Disassemble(prog)
+		back, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+		if len(back) != len(prog) {
+			t.Fatalf("program length changed %d -> %d", len(prog), len(back))
+		}
+		// And the binary format must round-trip.
+		decoded, err := isa.DecodeProgram(isa.EncodeProgram(prog))
+		if err != nil {
+			t.Fatalf("binary round trip: %v", err)
+		}
+		for i := range prog {
+			if decoded[i] != prog[i] {
+				t.Fatalf("binary round trip changed inst %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeProgram checks the binary decoder tolerates arbitrary
+// bytes.
+func FuzzDecodeProgram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(isa.EncodeProgram([]isa.Inst{{Op: isa.HALT}}))
+	f.Add(make([]byte, isa.InstBytes*3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := isa.DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		for _, in := range prog {
+			if in.Validate() != nil {
+				t.Fatal("decoder accepted invalid instruction")
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssam/internal/isa"
+)
+
+// randomInst draws a random structurally valid instruction with branch
+// targets confined to [0, progLen].
+func randomInst(rng *rand.Rand, progLen int) isa.Inst {
+	for {
+		op := isa.Op(rng.Intn(isa.NumOps))
+		in := isa.Inst{Op: op}
+		if op.VectorCapable() && rng.Intn(2) == 1 {
+			in.Vector = true
+		}
+		max := uint8(isa.NumScalarRegs)
+		if in.Vector {
+			max = uint8(isa.NumVectorRegs)
+		}
+		switch op {
+		case isa.SVMOVE:
+			in.Vector = true
+			in.Rd = uint8(rng.Intn(isa.NumVectorRegs))
+			in.Rs1 = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Imm = int32(rng.Intn(4)) - 1 // includes broadcast -1
+		case isa.VSMOVE:
+			in.Vector = false
+			in.Rd = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Rs1 = uint8(rng.Intn(isa.NumVectorRegs))
+			in.Imm = int32(rng.Intn(2))
+		case isa.LOAD, isa.STORE:
+			in.Rd = uint8(rng.Intn(int(max)))
+			in.Rs1 = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Imm = int32(rng.Intn(1 << 12))
+		case isa.MEMFETCH:
+			in.Vector = false
+			in.Rs1 = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Imm = int32(rng.Intn(1 << 12))
+		case isa.BNE, isa.BGT, isa.BLT, isa.BE:
+			in.Rs1 = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Rs2 = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Imm = int32(rng.Intn(progLen + 1))
+		case isa.J:
+			in.Imm = int32(rng.Intn(progLen + 1))
+		case isa.PQUEUELOAD:
+			in.Rd = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Imm = int32(rng.Intn(32))
+		case isa.PQUEUEINSERT:
+			in.Rs1 = uint8(rng.Intn(isa.NumScalarRegs))
+			in.Rs2 = uint8(rng.Intn(isa.NumScalarRegs))
+		case isa.PUSH:
+			in.Rs1 = uint8(rng.Intn(isa.NumScalarRegs))
+		case isa.POP:
+			in.Rd = uint8(rng.Intn(isa.NumScalarRegs))
+		case isa.PQUEUERESET, isa.HALT:
+		case isa.NOT, isa.POPCOUNT: // two-operand: no Rs2 in the text form
+			in.Rd = uint8(rng.Intn(int(max)))
+			in.Rs1 = uint8(rng.Intn(int(max)))
+		default:
+			in.Rd = uint8(rng.Intn(int(max)))
+			in.Rs1 = uint8(rng.Intn(int(max)))
+			if op.HasImmediate() {
+				if op == isa.SR || op == isa.SL || op == isa.SRA {
+					in.Imm = int32(rng.Intn(32))
+				} else {
+					in.Imm = int32(rng.Int31()) - 1<<30
+				}
+			} else {
+				in.Rs2 = uint8(rng.Intn(int(max)))
+			}
+		}
+		if in.Validate() == nil {
+			return in
+		}
+	}
+}
+
+// Property: any valid program survives Disassemble -> Assemble
+// unchanged (mnemonics, operand shapes and label synthesis are
+// lossless).
+func TestDisassembleAssembleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		prog := make([]isa.Inst, n)
+		for i := range prog {
+			prog[i] = randomInst(rng, n)
+		}
+		text := Disassemble(prog)
+		back, err := Assemble(text)
+		if err != nil {
+			t.Logf("reassembly failed: %v\n%s", err, text)
+			return false
+		}
+		if len(back) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			if back[i] != prog[i] {
+				t.Logf("inst %d: %v -> %v\n%s", i, prog[i], back[i], text)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode through the binary program format is
+// lossless for valid programs.
+func TestBinaryProgramRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		prog := make([]isa.Inst, n)
+		for i := range prog {
+			prog[i] = randomInst(rng, n)
+		}
+		back, err := isa.DecodeProgram(isa.EncodeProgram(prog))
+		if err != nil {
+			return false
+		}
+		for i := range prog {
+			if back[i] != prog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Tiny options so the whole suite stays CI-friendly.
+func tinyOpts() Options {
+	return Options{Scale: 0.0012, Queries: 3, VectorLength: 4}
+}
+
+func TestTableIShapeMatchesPaper(t *testing.T) {
+	rows := TableI(tinyOpts())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]TableIRow{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+		if r.VectorPct < 0 || r.ReadPct < 0 || r.WritePct < 0 {
+			t.Fatalf("negative percentages: %+v", r)
+		}
+	}
+	if byName["Linear"].VectorPct <= byName["KD-Tree"].VectorPct {
+		t.Error("linear should vectorize more than kd-tree")
+	}
+	if byName["K-Means"].VectorPct <= byName["MPLSH"].VectorPct {
+		t.Error("k-means should vectorize more than MPLSH")
+	}
+	if byName["KD-Tree"].WritePct <= byName["Linear"].WritePct {
+		t.Error("kd-tree should write more than linear")
+	}
+}
+
+func TestTableIIReportCoversISA(t *testing.T) {
+	r := TableIIReport()
+	var buf bytes.Buffer
+	r.Print(&buf)
+	for _, mnemonic := range []string{"PQUEUE_INSERT", "FXP", "MEM_FETCH", "PUSH"} {
+		if !strings.Contains(buf.String(), mnemonic) {
+			t.Errorf("Table II report missing %s", mnemonic)
+		}
+	}
+}
+
+func TestTableIIIAndIVReports(t *testing.T) {
+	for _, r := range []Report{TableIIIReport(), TableIVReport()} {
+		if len(r.Rows) != 4 {
+			t.Fatalf("%s: %d rows", r.Title, len(r.Rows))
+		}
+		var buf bytes.Buffer
+		r.Print(&buf)
+		if !strings.Contains(buf.String(), "SSAM-16") {
+			t.Fatalf("%s: missing SSAM-16 row", r.Title)
+		}
+	}
+}
+
+func TestTableVShape(t *testing.T) {
+	rows, err := TableV(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Euclidean != 1 {
+			t.Errorf("%s: euclidean baseline %v", r.Dataset, r.Euclidean)
+		}
+		if r.Hamming < 1.5 {
+			t.Errorf("%s: hamming %vx, want clearly above euclidean", r.Dataset, r.Hamming)
+		}
+		if r.Cosine >= 1 || r.Cosine < 0.15 {
+			t.Errorf("%s: cosine %vx, want below euclidean (paper ~0.47)", r.Dataset, r.Cosine)
+		}
+		if r.Manhattan > 1.3 || r.Manhattan < 0.5 {
+			t.Errorf("%s: manhattan %vx, want near 1", r.Dataset, r.Manhattan)
+		}
+	}
+	// Hamming advantage grows with dimensionality (4.38 -> 9.38 in the
+	// paper from GloVe to AlexNet).
+	if rows[2].Hamming <= rows[0].Hamming {
+		t.Errorf("hamming advantage should grow with dims: %v vs %v", rows[0].Hamming, rows[2].Hamming)
+	}
+}
+
+func TestTableVIShape(t *testing.T) {
+	rows, err := TableVI(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SSAM4 <= r.APGen1 || r.SSAM4 <= r.APGen2 {
+			t.Errorf("%s: SSAM (%v) should beat AP (%v, %v)", r.Dataset, r.SSAM4, r.APGen1, r.APGen2)
+		}
+		if r.APGen2 <= r.APGen1 {
+			t.Errorf("%s: gen2 (%v) should beat gen1 (%v)", r.Dataset, r.APGen2, r.APGen1)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	pts := Figure2(tinyOpts())
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// Each dataset must include a linear point at recall 1 and sweep
+	// points with recall rising in checks for tree indexes.
+	byAlgo := map[string][]CurvePoint{}
+	for _, p := range pts {
+		if p.Dataset != "glove" {
+			continue
+		}
+		byAlgo[p.Algorithm] = append(byAlgo[p.Algorithm], p)
+	}
+	if len(byAlgo["linear"]) != 1 || byAlgo["linear"][0].Recall != 1 {
+		t.Fatalf("linear baseline wrong: %+v", byAlgo["linear"])
+	}
+	kd := byAlgo["kdtree"]
+	if len(kd) < 3 {
+		t.Fatalf("kd sweep too short: %d", len(kd))
+	}
+	if kd[len(kd)-1].Recall < kd[0].Recall-0.05 {
+		t.Errorf("kd recall not improving across sweep: %v -> %v", kd[0].Recall, kd[len(kd)-1].Recall)
+	}
+	if len(byAlgo["mplsh"]) == 0 || len(byAlgo["kmeans"]) == 0 {
+		t.Fatal("missing algorithms in sweep")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	rows, err := Figure6(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(platform, ds string) Fig6Row {
+		for _, r := range rows {
+			if r.Platform == platform && r.Dataset == ds {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", platform, ds)
+		return Fig6Row{}
+	}
+	for _, ds := range []string{"glove", "gist", "alexnet"} {
+		cpu := get("cpu-xeon-e5-2620", ds)
+		ssam := get("ssam-8", ds)
+		gpu := get("gpu-titan-x", ds)
+		// The headline: orders of magnitude area-normalized and energy
+		// advantage for SSAM over CPU.
+		if ssam.AreaNormQPS/cpu.AreaNormQPS < 20 {
+			t.Errorf("%s: SSAM/CPU area-norm ratio = %v, want >> 20",
+				ds, ssam.AreaNormQPS/cpu.AreaNormQPS)
+		}
+		if ssam.QPerJoule/cpu.QPerJoule < 20 {
+			t.Errorf("%s: SSAM/CPU energy ratio = %v, want >> 20",
+				ds, ssam.QPerJoule/cpu.QPerJoule)
+		}
+		// GPU beats CPU raw, SSAM beats GPU area-normalized.
+		if gpu.QPS <= cpu.QPS {
+			t.Errorf("%s: GPU raw qps should beat CPU", ds)
+		}
+		if ssam.AreaNormQPS <= gpu.AreaNormQPS {
+			t.Errorf("%s: SSAM area-norm should beat GPU", ds)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	pts, err := Figure7(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pts {
+		if p.Algorithm == "linear" || p.SSAMQPS == 0 {
+			continue
+		}
+		found = true
+		if p.SSAMQPS <= p.QPS/100 {
+			t.Errorf("%s/%s: SSAM modeled qps (%v) implausibly slow vs CPU (%v)",
+				p.Dataset, p.Algorithm, p.SSAMQPS, p.QPS)
+		}
+	}
+	if !found {
+		t.Fatal("no SSAM points")
+	}
+}
+
+func TestPQAblationShape(t *testing.T) {
+	rows, err := PQAblation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SWCycles <= r.HWCycles {
+			t.Errorf("SSAM-%d: software queue not slower", r.VectorLength)
+		}
+		if r.SpeedupPct <= 0 || r.SpeedupPct > 25 {
+			t.Errorf("SSAM-%d: speedup %v%% out of plausible range", r.VectorLength, r.SpeedupPct)
+		}
+	}
+	// Benefit grows for wider vector units (paper: up to 9.2%).
+	if rows[3].SpeedupPct <= rows[0].SpeedupPct {
+		t.Errorf("speedup should grow with vector width: %v vs %v",
+			rows[0].SpeedupPct, rows[3].SpeedupPct)
+	}
+}
+
+func TestFixedPointNegligibleLoss(t *testing.T) {
+	rows := FixedPoint(tinyOpts())
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Recall < 0.95 {
+			t.Errorf("%s: fixed-point recall %v, want ~1", r.Dataset, r.Recall)
+		}
+	}
+}
+
+func TestTCOConclusion(t *testing.T) {
+	res, p, err := TCO(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUServers < 1000 {
+		t.Errorf("CPU fleet = %d servers, expected ~1800 at paper scale", res.CPUServers)
+	}
+	if res.SSAMFleetPowerW >= res.CPUFleetPowerW {
+		t.Error("SSAM fleet should draw less power")
+	}
+	if p.SSAMQPSPerModule <= p.CPUQPSPerServer {
+		t.Error("one SSAM module should beat one CPU server")
+	}
+}
+
+func TestReportsPrint(t *testing.T) {
+	o := tinyOpts()
+	reports := []Report{TableIReport(o), TableIIReport(), TableIIIReport(), TableIVReport(), FixedPointReport(o)}
+	if r, err := TableVReport(o); err == nil {
+		reports = append(reports, r)
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := TCOReport(o); err == nil {
+		reports = append(reports, r)
+	} else {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		var buf bytes.Buffer
+		r.Print(&buf)
+		if buf.Len() == 0 || !strings.Contains(buf.String(), "==") {
+			t.Errorf("%s: empty print", r.Title)
+		}
+	}
+}

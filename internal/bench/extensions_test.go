@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexConstructionShape(t *testing.T) {
+	rows := IndexConstruction(tinyOpts())
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BuildSeconds <= 0 || r.QuerySeconds <= 0 {
+			t.Errorf("%s: non-positive timings %+v", r.Index, r)
+		}
+		// Construction is much slower than a single query (the paper
+		// says ~3 orders of magnitude at full scale; at tiny scale the
+		// gap shrinks but must remain decisively one-sided).
+		if r.Ratio < 3 {
+			t.Errorf("%s: build/query ratio %v, want build >> query", r.Index, r.Ratio)
+		}
+	}
+}
+
+func TestKMeansOffloadShape(t *testing.T) {
+	rows, err := KMeansOffload(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("K=%d: device not faster (%vx)", r.K, r.Speedup)
+		}
+	}
+	// More centroids mean more compute per byte: device advantage
+	// persists across K.
+	if rows[2].DeviceSeconds <= rows[0].DeviceSeconds {
+		t.Error("more centroids should cost more device time")
+	}
+}
+
+func TestDeviceAssistedBuildShape(t *testing.T) {
+	rows, err := DeviceAssistedBuild(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	std, dev := rows[0], rows[1]
+	if dev.DeviceSeconds <= 0 {
+		t.Fatal("no device scan time recorded")
+	}
+	// Precomputed cuts skip the per-node variance passes: the host
+	// build must not get slower, and quality must stay comparable.
+	if dev.Recall < std.Recall-0.15 {
+		t.Errorf("assisted recall %v far below standard %v", dev.Recall, std.Recall)
+	}
+	if std.Recall < 0.5 || dev.Recall < 0.5 {
+		t.Errorf("recalls implausibly low: %v / %v", std.Recall, dev.Recall)
+	}
+}
+
+func TestDeviceIndexSweepShape(t *testing.T) {
+	// Needs enough vectors per PU shard for pruning to exist; the
+	// default tiny scale leaves single-leaf shards.
+	rows, err := DeviceIndexSweep(Options{Scale: 0.005, Queries: 3, VectorLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 { // two datasets x two indexes x four budgets
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Recall <= 0 || r.DeviceQPS <= 0 || r.LinearQPS <= 0 {
+			t.Errorf("row %d not populated: %+v", i, r)
+		}
+	}
+	// Within each dataset/index group: recall non-decreasing across
+	// the sweep; the smallest budget must beat the device's own linear
+	// scan.
+	for g := 0; g < 4; g++ {
+		base := g * 4
+		if rows[base+3].Recall < rows[base].Recall-0.02 {
+			t.Errorf("%s/%s: recall fell across sweep", rows[base].Dataset, rows[base].Index)
+		}
+		if rows[base].DeviceQPS <= rows[base].LinearQPS {
+			t.Errorf("%s/%s: bounded search (%v q/s) not faster than linear (%v q/s)",
+				rows[base].Dataset, rows[base].Index, rows[base].DeviceQPS, rows[base].LinearQPS)
+		}
+	}
+}
+
+func TestDeviceLSHSweepShape(t *testing.T) {
+	rows, err := DeviceLSHSweep(Options{Scale: 0.004, Queries: 3, VectorLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Recall <= 0 || r.DeviceQPS <= 0 {
+			t.Errorf("bits=%d not populated: %+v", r.Bits, r)
+		}
+	}
+	// Wider hashes prune harder: throughput rises, recall falls (or at
+	// least does not improve) from the narrowest to the widest setting.
+	if rows[3].DeviceQPS <= rows[0].DeviceQPS {
+		t.Errorf("8-bit tables (%v q/s) not faster than 2-bit (%v q/s)",
+			rows[3].DeviceQPS, rows[0].DeviceQPS)
+	}
+	if rows[3].Recall > rows[0].Recall+0.05 {
+		t.Errorf("recall rose with narrower buckets: %v -> %v", rows[0].Recall, rows[3].Recall)
+	}
+}
+
+func TestDeviceInstructionMixShape(t *testing.T) {
+	rows, err := DeviceInstructionMix(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]DevMixRow{}
+	for _, r := range rows {
+		byName[r.Kernel] = r
+		if r.VectorPct <= 0 || r.VectorPct > 100 || r.CyclesVec <= 0 {
+			t.Errorf("%s: implausible mix %+v", r.Kernel, r)
+		}
+	}
+	// The codesigned linear kernels are heavily vectorized; cosine's
+	// scalar sqrt/divide fixup drags its vector share down; Euclidean
+	// and Manhattan stream at similar cost.
+	if byName["euclidean"].VectorPct < 50 {
+		t.Errorf("euclidean Vector%% = %v, want >= 50", byName["euclidean"].VectorPct)
+	}
+	if byName["cosine"].VectorPct >= byName["euclidean"].VectorPct {
+		t.Errorf("cosine (%v%%) should vectorize less than euclidean (%v%%)",
+			byName["cosine"].VectorPct, byName["euclidean"].VectorPct)
+	}
+	if byName["hamming"].CyclesVec >= byName["euclidean"].CyclesVec {
+		t.Errorf("hamming cycles/vector (%v) should undercut euclidean (%v)",
+			byName["hamming"].CyclesVec, byName["euclidean"].CyclesVec)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := Report{Title: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# t\na,b\n1,2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestEnergyPerQueryShape(t *testing.T) {
+	rows, err := EnergyPerQuery(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.QueryEnergyJ <= 0 {
+			t.Errorf("SSAM-%d: non-positive energy", r.VectorLength)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1.01 {
+			t.Errorf("SSAM-%d: utilization %v out of range", r.VectorLength, r.Utilization)
+		}
+	}
+	// Wider vectors finish the scan in fewer cycles; energy per query
+	// must not grow drastically with width.
+	if rows[3].QueryEnergyJ > 4*rows[0].QueryEnergyJ {
+		t.Errorf("SSAM-16 energy (%v) implausibly above SSAM-2 (%v)",
+			rows[3].QueryEnergyJ, rows[0].QueryEnergyJ)
+	}
+}
+
+func TestClusterScalingShape(t *testing.T) {
+	rows, err := ClusterScaling(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[2].PUs <= rows[0].PUs {
+		t.Error("more modules should mean more PUs")
+	}
+	// Sharding the same dataset across more modules shortens each
+	// module's scan: throughput must improve.
+	if rows[2].QPS <= rows[0].QPS {
+		t.Errorf("4 modules (%v q/s) not faster than 1 (%v q/s)", rows[2].QPS, rows[0].QPS)
+	}
+}

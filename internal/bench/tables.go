@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fmt"
+
+	"ssam/internal/ap"
+	"ssam/internal/dataset"
+	"ssam/internal/isa"
+	"ssam/internal/kdtree"
+	"ssam/internal/kmeans"
+	"ssam/internal/knn"
+	"ssam/internal/lsh"
+	"ssam/internal/power"
+	"ssam/internal/profile"
+	"ssam/internal/ssamdev"
+	"ssam/internal/vec"
+)
+
+// TableIRow is one algorithm's instruction-mix profile on the GloVe
+// workload.
+type TableIRow struct {
+	Algorithm string
+	VectorPct float64
+	ReadPct   float64
+	WritePct  float64
+}
+
+// TableI reproduces the instruction-mix characterization: the four
+// kNN algorithm classes run over the GloVe-like workload with their
+// measured work converted to instruction categories (internal/profile).
+func TableI(o Options) []TableIRow {
+	o = o.Defaults()
+	ds := getDataset(dataset.GloVeSpec(o.Scale))
+	k := ds.Spec.K
+	qs := clampQueries(ds.Queries, o.Queries)
+
+	var linear, kd, km, mp profile.Mix
+
+	e := knn.NewEngine(ds.Data, ds.Dim(), vec.Euclidean, 1)
+	forest := kdtree.Build(ds.Data, ds.Dim(), kdtree.DefaultParams())
+	forest.Checks = ds.N() / 16
+	tree := kmeans.Build(ds.Data, ds.Dim(), kmeans.DefaultParams())
+	tree.Checks = ds.N() / 16
+	index := lsh.Build(ds.Data, ds.Dim(), lsh.DefaultParams())
+	index.Probes = 8
+
+	for _, q := range qs {
+		_, st1 := e.SearchStats(q, k)
+		linear.Add(profile.LinearMix(st1, k))
+		_, st2 := forest.SearchStats(q, k)
+		kd.Add(profile.KDTreeMix(st2, k))
+		_, st3 := tree.SearchStats(q, k)
+		km.Add(profile.KMeansMix(st3, k))
+		_, st4 := index.SearchStats(q, k)
+		mp.Add(profile.MPLSHMix(st4, k))
+	}
+	rows := []TableIRow{
+		{"Linear", linear.VectorPct(), linear.ReadPct(), linear.WritePct()},
+		{"KD-Tree", kd.VectorPct(), kd.ReadPct(), kd.WritePct()},
+		{"K-Means", km.VectorPct(), km.ReadPct(), km.WritePct()},
+		{"MPLSH", mp.VectorPct(), mp.ReadPct(), mp.WritePct()},
+	}
+	return rows
+}
+
+// TableIReport formats TableI.
+func TableIReport(o Options) Report {
+	r := Report{
+		Title:  "Table I: instruction mix, GloVe workload (paper: Linear 54.75/45.23/0.44, KD 28.75/31.60/10.21, KM 51.63/44.96/1.12, MPLSH 18.69/31.53/14.16)",
+		Header: []string{"Algorithm", "Vector%", "MemRead%", "MemWrite%"},
+	}
+	for _, row := range TableI(o) {
+		r.Rows = append(r.Rows, []string{row.Algorithm, f2(row.VectorPct), f2(row.ReadPct), f2(row.WritePct)})
+	}
+	return r
+}
+
+// TableIIReport lists the implemented instruction set (Table II).
+func TableIIReport() Report {
+	r := Report{
+		Title:  "Table II: SSAM processing-unit instruction set",
+		Header: []string{"Mnemonic", "Forms", "Immediate"},
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		forms := "S"
+		if op.VectorCapable() {
+			forms = "S/V"
+		}
+		imm := ""
+		if op.HasImmediate() {
+			imm = "imm"
+		}
+		r.Rows = append(r.Rows, []string{op.String(), forms, imm})
+	}
+	return r
+}
+
+// moduleRows renders a power/area Module breakdown table.
+func moduleRows(get func(vlen int) (power.Module, error)) [][]string {
+	var rows [][]string
+	for _, vlen := range power.SupportedVectorLengths() {
+		m, err := get(vlen)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("SSAM-%d", vlen),
+			f2(m.PriorityQueue), f2(m.StackUnit), f2(m.ALUs), f2(m.Scratchpad),
+			f2(m.RegFiles), f2(m.InsMemory), f2(m.PipelineControl), f2(m.Total()),
+		})
+	}
+	return rows
+}
+
+// TableIIIReport reproduces the accelerator power breakdown.
+func TableIIIReport() Report {
+	return Report{
+		Title:  "Table III: SSAM accelerator power by module (W, 28 nm)",
+		Header: []string{"Module", "PQueue", "Stack", "ALUs", "Scratchpad", "RegFiles", "InsMem", "Pipe/Ctl", "Total"},
+		Rows:   moduleRows(power.AcceleratorPower),
+		Notes:  []string{"totals are row sums; the paper's printed totals are slightly lower (see EXPERIMENTS.md)"},
+	}
+}
+
+// TableIVReport reproduces the accelerator area breakdown.
+func TableIVReport() Report {
+	return Report{
+		Title:  "Table IV: SSAM accelerator area by module (mm^2, 28 nm)",
+		Header: []string{"Module", "PQueue", "Stack", "ALUs", "Scratchpad", "RegFiles", "InsMem", "Pipe/Ctl", "Total"},
+		Rows:   moduleRows(power.AcceleratorArea),
+	}
+}
+
+// TableVRow is one dataset's relative distance-metric throughput on
+// the simulated SSAM.
+type TableVRow struct {
+	Dataset   string
+	Euclidean float64 // always 1.0
+	Hamming   float64
+	Cosine    float64
+	Manhattan float64
+}
+
+// TableV reproduces the alternative-distance-metric comparison: each
+// metric's kernel simulated on SSAM-4 over each dataset, normalized to
+// Euclidean (paper: Hamming 4.4-9.4x, cosine ~0.46x, Manhattan ~1x).
+func TableV(o Options) ([]TableVRow, error) {
+	o = o.Defaults()
+	vlen := 4 // the paper reports Table V for SSAM-4
+	var rows []TableVRow
+	for _, spec := range dataset.AllSpecs(o.Scale) {
+		ds := getDataset(spec)
+		qs := clampQueries(ds.Queries, o.Queries)
+
+		qps := func(metric vec.Metric) (float64, error) {
+			cfg := ssamdev.DefaultConfig(vlen)
+			dev, err := ssamdev.NewFloat(cfg, ds.Data, ds.Dim(), metric)
+			if err != nil {
+				return 0, err
+			}
+			var total float64
+			for _, q := range qs {
+				_, st, err := dev.Search(q, spec.K)
+				if err != nil {
+					return 0, err
+				}
+				total += st.Seconds
+			}
+			return float64(len(qs)) / total, nil
+		}
+		eu, err := qps(vec.Euclidean)
+		if err != nil {
+			return nil, err
+		}
+		ma, err := qps(vec.Manhattan)
+		if err != nil {
+			return nil, err
+		}
+		co, err := qps(vec.Cosine)
+		if err != nil {
+			return nil, err
+		}
+		// Hamming on the binarized dataset.
+		dev, err := ssamdev.NewBinary(ssamdev.DefaultConfig(vlen), ds.ToBinary())
+		if err != nil {
+			return nil, err
+		}
+		var total float64
+		for _, q := range qs {
+			code := vec.SignBinarize(q, ds.Means())
+			_, st, err := dev.SearchBinary(code, spec.K)
+			if err != nil {
+				return nil, err
+			}
+			total += st.Seconds
+		}
+		ha := float64(len(qs)) / total
+
+		rows = append(rows, TableVRow{
+			Dataset:   spec.Name,
+			Euclidean: 1,
+			Hamming:   ha / eu,
+			Cosine:    co / eu,
+			Manhattan: ma / eu,
+		})
+	}
+	return rows, nil
+}
+
+// TableVReport formats TableV.
+func TableVReport(o Options) (Report, error) {
+	rows, err := TableV(o)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{
+		Title:  "Table V: relative throughput of distance metrics on SSAM-4 (paper: Hamming 4.38/7.98/9.38x, cosine 0.46/0.47/0.47x, Manhattan 0.94/0.99/0.99x)",
+		Header: []string{"Dataset", "Euclidean", "Hamming", "Cosine", "Manhattan"},
+	}
+	for _, row := range rows {
+		r.Rows = append(r.Rows, []string{row.Dataset, f2(row.Euclidean), f2(row.Hamming) + "x", f2(row.Cosine) + "x", f2(row.Manhattan) + "x"})
+	}
+	return r, nil
+}
+
+// TableVIRow compares SSAM-4 against the Automata Processor on linear
+// Hamming kNN at full dataset scale (queries/s).
+type TableVIRow struct {
+	Dataset string
+	SSAM4   float64
+	APGen1  float64
+	APGen2  float64
+}
+
+// TableVI reproduces the SSAM/AP comparison: SSAM-4 throughput from
+// the simulator (extrapolated to full scale); AP generations from the
+// calibrated reconfiguration model.
+func TableVI(o Options) ([]TableVIRow, error) {
+	o = o.Defaults()
+	var rows []TableVIRow
+	for _, spec := range dataset.AllSpecs(o.Scale) {
+		ds := getDataset(spec)
+		qs := clampQueries(ds.Queries, o.Queries)
+		dev, err := ssamdev.NewBinary(ssamdev.DefaultConfig(4), ds.ToBinary())
+		if err != nil {
+			return nil, err
+		}
+		var total float64
+		for _, q := range qs {
+			code := vec.SignBinarize(q, ds.Means())
+			_, st, err := dev.SearchBinary(code, spec.K)
+			if err != nil {
+				return nil, err
+			}
+			total += st.Seconds
+		}
+		full := paperN(spec.Name)
+		qps := extrapolateQPS(float64(len(qs))/total, ds.N(), full)
+		rows = append(rows, TableVIRow{
+			Dataset: spec.Name,
+			SSAM4:   qps,
+			APGen1:  ap.Gen1().QPS(full, spec.Dim),
+			APGen2:  ap.Gen2().QPS(full, spec.Dim),
+		})
+	}
+	return rows, nil
+}
+
+// TableVIReport formats TableVI.
+func TableVIReport(o Options) (Report, error) {
+	rows, err := TableVI(o)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{
+		Title:  "Table VI: linear Hamming kNN throughput, SSAM-4 vs Automata Processor (paper: SSAM 2059/481/134, AP1 288/2.64/0.553, AP2 1117/10.55/0.951 q/s)",
+		Header: []string{"Dataset", "SSAM-4 q/s", "AP gen1 q/s", "AP gen2 q/s"},
+	}
+	for _, row := range rows {
+		r.Rows = append(r.Rows, []string{row.Dataset, f1(row.SSAM4), g3(row.APGen1), g3(row.APGen2)})
+	}
+	return r, nil
+}

@@ -1,0 +1,199 @@
+// Package dataset provides deterministic synthetic stand-ins for the
+// three evaluation corpora of the SSAM paper (Section II-B): the GloVe
+// Twitter word-embedding dataset (1.2M x 100), the GIST image
+// descriptor dataset (1M x 960), and an AlexNet feature dataset
+// (1M x 4096).
+//
+// Substitution note (DESIGN.md): the real corpora are external
+// downloads, so we generate Gaussian-mixture data with the paper's
+// dimensionalities and a cluster structure. The property the paper's
+// experiments rely on is that the data is clustered enough for
+// indexing structures to prune effectively at moderate accuracy
+// targets and to degrade toward linear search at high accuracy; a
+// Gaussian mixture with per-cluster anisotropic noise reproduces that
+// regime. All generation is seeded and reproducible.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssam/internal/vec"
+)
+
+// Spec describes a synthetic dataset to generate.
+type Spec struct {
+	Name       string
+	N          int // number of database vectors
+	Dim        int // dimensionality
+	NumQueries int // held-out query vectors
+	K          int // the paper's neighbor count for this workload
+	Clusters   int // number of mixture components
+	ClusterStd float64
+	Seed       int64
+}
+
+// The paper's full-scale workload parameters.
+const (
+	GloVeN   = 1200000
+	GIST_N   = 1000000
+	AlexNetN = 1000000
+)
+
+// GloVeSpec returns the GloVe-like workload (100-d word embeddings,
+// k=6) scaled by scale in (0, 1].
+func GloVeSpec(scale float64) Spec {
+	return Spec{
+		Name: "glove", N: scaled(GloVeN, scale), Dim: 100,
+		NumQueries: 1000, K: 6, Clusters: 128, ClusterStd: 0.35,
+		Seed: 0x9107e,
+	}
+}
+
+// GISTSpec returns the GIST-like workload (960-d image descriptors,
+// k=10) scaled by scale.
+func GISTSpec(scale float64) Spec {
+	return Spec{
+		Name: "gist", N: scaled(GIST_N, scale), Dim: 960,
+		NumQueries: 1000, K: 10, Clusters: 96, ClusterStd: 0.30,
+		Seed: 0x6157,
+	}
+}
+
+// AlexNetSpec returns the AlexNet-like workload (4096-d CNN features,
+// k=16) scaled by scale.
+func AlexNetSpec(scale float64) Spec {
+	return Spec{
+		Name: "alexnet", N: scaled(AlexNetN, scale), Dim: 4096,
+		NumQueries: 1000, K: 16, Clusters: 64, ClusterStd: 0.25,
+		Seed: 0xa1e7,
+	}
+}
+
+// AllSpecs returns the three paper workloads at the given scale.
+func AllSpecs(scale float64) []Spec {
+	return []Spec{GloVeSpec(scale), GISTSpec(scale), AlexNetSpec(scale)}
+}
+
+func scaled(n int, scale float64) int {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("dataset: scale %v out of (0,1]", scale))
+	}
+	s := int(float64(n) * scale)
+	if s < 64 {
+		s = 64
+	}
+	return s
+}
+
+// Dataset is a generated corpus: a flattened row-major database plus
+// held-out queries, mirroring the paper's "training set to build the
+// search index and a test set of 1000 vectors used as the queries".
+type Dataset struct {
+	Spec    Spec
+	Data    []float32 // Spec.N rows of Spec.Dim values
+	Queries [][]float32
+}
+
+// Generate builds the dataset described by s. Generation is
+// deterministic in s.Seed.
+func Generate(s Spec) *Dataset {
+	if s.N <= 0 || s.Dim <= 0 {
+		panic("dataset: nonpositive size")
+	}
+	if s.Clusters <= 0 {
+		s.Clusters = 1
+	}
+	if s.ClusterStd <= 0 {
+		s.ClusterStd = 0.3
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	// Mixture components: isotropic centers with per-cluster scale so
+	// clusters have unequal extents (keeps kd-tree variance cuts
+	// meaningful).
+	centers := make([][]float32, s.Clusters)
+	cstd := make([]float64, s.Clusters)
+	for c := range centers {
+		row := make([]float32, s.Dim)
+		for d := range row {
+			row[d] = float32(rng.NormFloat64())
+		}
+		centers[c] = row
+		cstd[c] = s.ClusterStd * (0.5 + rng.Float64())
+	}
+
+	sample := func(dst []float32) {
+		c := rng.Intn(s.Clusters)
+		std := cstd[c]
+		ctr := centers[c]
+		for d := range dst {
+			dst[d] = ctr[d] + float32(rng.NormFloat64()*std)
+		}
+	}
+
+	ds := &Dataset{Spec: s, Data: make([]float32, s.N*s.Dim)}
+	for i := 0; i < s.N; i++ {
+		sample(ds.Data[i*s.Dim : (i+1)*s.Dim])
+	}
+	ds.Queries = make([][]float32, s.NumQueries)
+	for i := range ds.Queries {
+		q := make([]float32, s.Dim)
+		sample(q)
+		ds.Queries[i] = q
+	}
+	return ds
+}
+
+// Row returns database vector i as a view into the flattened store.
+func (d *Dataset) Row(i int) []float32 {
+	dim := d.Spec.Dim
+	return d.Data[i*dim : (i+1)*dim]
+}
+
+// N returns the number of database vectors.
+func (d *Dataset) N() int { return d.Spec.N }
+
+// Dim returns the dimensionality.
+func (d *Dataset) Dim() int { return d.Spec.Dim }
+
+// Bytes returns the size of the float32 database in bytes.
+func (d *Dataset) Bytes() int64 { return int64(len(d.Data)) * 4 }
+
+// Means returns the per-dimension mean of the database, the customary
+// threshold vector for sign binarization.
+func (d *Dataset) Means() []float32 {
+	dim := d.Spec.Dim
+	sums := make([]float64, dim)
+	for i := 0; i < d.Spec.N; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			sums[j] += float64(v)
+		}
+	}
+	out := make([]float32, dim)
+	for j, s := range sums {
+		out[j] = float32(s / float64(d.Spec.N))
+	}
+	return out
+}
+
+// ToFixed converts the database to Q16.16 fixed point (Section II-D).
+func (d *Dataset) ToFixed() []int32 {
+	out := make([]int32, len(d.Data))
+	for i, v := range d.Data {
+		out[i] = vec.ToFixed(v)
+	}
+	return out
+}
+
+// ToBinary sign-binarizes every database row against the dataset means,
+// producing Hamming-space codes of Dim bits.
+func (d *Dataset) ToBinary() []vec.Binary {
+	th := d.Means()
+	out := make([]vec.Binary, d.Spec.N)
+	for i := range out {
+		out[i] = vec.SignBinarize(d.Row(i), th)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"testing"
+
+	"ssam/internal/topk"
+	"ssam/internal/vec"
+)
+
+func smallSpec() Spec {
+	return Spec{Name: "test", N: 500, Dim: 16, NumQueries: 10, K: 5,
+		Clusters: 8, ClusterStd: 0.3, Seed: 42}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(smallSpec())
+	if got := len(ds.Data); got != 500*16 {
+		t.Fatalf("data len = %d, want %d", got, 500*16)
+	}
+	if got := len(ds.Queries); got != 10 {
+		t.Fatalf("queries = %d, want 10", got)
+	}
+	for _, q := range ds.Queries {
+		if len(q) != 16 {
+			t.Fatalf("query dim = %d", len(q))
+		}
+	}
+	if ds.N() != 500 || ds.Dim() != 16 {
+		t.Fatalf("N/Dim accessors wrong: %d %d", ds.N(), ds.Dim())
+	}
+	if ds.Bytes() != 500*16*4 {
+		t.Fatalf("Bytes = %d", ds.Bytes())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallSpec())
+	b := Generate(smallSpec())
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("data differs at %d", i)
+		}
+	}
+	for i := range a.Queries {
+		for j := range a.Queries[i] {
+			if a.Queries[i][j] != b.Queries[i][j] {
+				t.Fatalf("query %d differs", i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	s := smallSpec()
+	a := Generate(s)
+	s.Seed++
+	b := Generate(s)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	ds := Generate(smallSpec())
+	r := ds.Row(3)
+	if len(r) != 16 {
+		t.Fatalf("row len = %d", len(r))
+	}
+	if &r[0] != &ds.Data[3*16] {
+		t.Fatal("Row is not a view into Data")
+	}
+}
+
+func TestSpecPresets(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		dim  int
+		k    int
+	}{
+		{GloVeSpec(0.001), 100, 6},
+		{GISTSpec(0.001), 960, 10},
+		{AlexNetSpec(0.001), 4096, 16},
+	}
+	for _, c := range cases {
+		if c.spec.Dim != c.dim || c.spec.K != c.k {
+			t.Errorf("%s: dim/k = %d/%d, want %d/%d",
+				c.spec.Name, c.spec.Dim, c.spec.K, c.dim, c.k)
+		}
+		if c.spec.N <= 0 || c.spec.NumQueries <= 0 {
+			t.Errorf("%s: empty spec", c.spec.Name)
+		}
+	}
+	if got := len(AllSpecs(0.001)); got != 3 {
+		t.Fatalf("AllSpecs = %d entries", got)
+	}
+}
+
+func TestScaleFullSize(t *testing.T) {
+	if got := GloVeSpec(1.0).N; got != GloVeN {
+		t.Fatalf("full GloVe N = %d, want %d", got, GloVeN)
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on scale 0")
+		}
+	}()
+	GloVeSpec(0)
+}
+
+func TestMeans(t *testing.T) {
+	ds := &Dataset{
+		Spec: Spec{N: 2, Dim: 2},
+		Data: []float32{1, 10, 3, 20},
+	}
+	m := ds.Means()
+	if m[0] != 2 || m[1] != 15 {
+		t.Fatalf("Means = %v, want [2 15]", m)
+	}
+}
+
+func TestToFixed(t *testing.T) {
+	ds := Generate(smallSpec())
+	fx := ds.ToFixed()
+	if len(fx) != len(ds.Data) {
+		t.Fatalf("fixed len = %d", len(fx))
+	}
+	for i := 0; i < 50; i++ {
+		if fx[i] != vec.ToFixed(ds.Data[i]) {
+			t.Fatalf("fixed value mismatch at %d", i)
+		}
+	}
+}
+
+func TestToBinary(t *testing.T) {
+	ds := Generate(smallSpec())
+	bin := ds.ToBinary()
+	if len(bin) != ds.N() {
+		t.Fatalf("binary rows = %d", len(bin))
+	}
+	if bin[0].Dim != ds.Dim() {
+		t.Fatalf("binary dim = %d", bin[0].Dim)
+	}
+	// Sign binarization against means: roughly half the bits set across
+	// the whole dataset.
+	total, set := 0, 0
+	for _, b := range bin {
+		total += b.Dim
+		set += b.PopCount()
+	}
+	frac := float64(set) / float64(total)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("set-bit fraction = %v, expected near 0.5", frac)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	e := []topk.Result{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	a := []topk.Result{{ID: 2}, {ID: 4}, {ID: 9}, {ID: 10}}
+	if got := Recall(e, a); got != 0.5 {
+		t.Fatalf("Recall = %v, want 0.5", got)
+	}
+	if got := Recall(nil, a); got != 1 {
+		t.Fatalf("empty exact Recall = %v, want 1", got)
+	}
+	if got := Recall(e, e); got != 1 {
+		t.Fatalf("identical Recall = %v, want 1", got)
+	}
+	if got := Recall(e, nil); got != 0 {
+		t.Fatalf("empty approx Recall = %v, want 0", got)
+	}
+}
+
+func TestMeanRecall(t *testing.T) {
+	e := [][]topk.Result{{{ID: 1}, {ID: 2}}, {{ID: 3}, {ID: 4}}}
+	a := [][]topk.Result{{{ID: 1}, {ID: 2}}, {{ID: 9}, {ID: 4}}}
+	if got := MeanRecall(e, a); got != 0.75 {
+		t.Fatalf("MeanRecall = %v, want 0.75", got)
+	}
+	if got := MeanRecall(nil, nil); got != 1 {
+		t.Fatalf("empty MeanRecall = %v", got)
+	}
+}
+
+func TestMeanRecallMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	MeanRecall(make([][]topk.Result, 1), nil)
+}
+
+func TestClusteredStructure(t *testing.T) {
+	// Points should be closer to their cluster peers than random pairs:
+	// check the mean pairwise distance of the dataset is larger than
+	// the mean nearest-neighbor distance by a comfortable factor.
+	ds := Generate(smallSpec())
+	nn := 0.0
+	pair := 0.0
+	n := 60
+	for i := 0; i < n; i++ {
+		best := -1.0
+		for j := 0; j < ds.N(); j++ {
+			if i == j {
+				continue
+			}
+			d := vec.SquaredL2(ds.Row(i), ds.Row(j))
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		nn += best
+		pair += vec.SquaredL2(ds.Row(i), ds.Row((i+ds.N()/2)%ds.N()))
+	}
+	if nn >= pair {
+		t.Fatalf("no cluster structure: nn=%v pair=%v", nn/float64(n), pair/float64(n))
+	}
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import "ssam/internal/topk"
+
+// Recall implements the paper's accuracy definition (Section II-C):
+// |S_E ∩ S_A| / |S_E|, where S_E is the exact neighbor set from
+// floating-point linear search and S_A is the approximate result set.
+func Recall(exact, approx []topk.Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]struct{}, len(exact))
+	for _, r := range exact {
+		in[r.ID] = struct{}{}
+	}
+	hit := 0
+	for _, r := range approx {
+		if _, ok := in[r.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// MeanRecall averages Recall over parallel slices of per-query results.
+func MeanRecall(exact, approx [][]topk.Result) float64 {
+	if len(exact) != len(approx) {
+		panic("dataset: result set length mismatch")
+	}
+	if len(exact) == 0 {
+		return 1
+	}
+	var acc float64
+	for i := range exact {
+		acc += Recall(exact[i], approx[i])
+	}
+	return acc / float64(len(exact))
+}

@@ -1,0 +1,134 @@
+// Package hmc models the Hybrid Memory Cube 2.0 substrate the SSAM is
+// built on (Section III-B): a die-stacked memory partitioned into 32
+// vaults, each accessed through a 10 GB/s vault controller on the
+// logic layer (320 GB/s aggregate internal bandwidth), with four
+// external data links totaling 240 GB/s to the host. The model covers
+// capacity, vault partitioning of a dataset, and streaming-time
+// arithmetic; it is the bandwidth authority for the SSAM device model
+// and the platform baselines.
+package hmc
+
+import "time"
+
+// Config describes one memory module's bandwidth/capacity envelope.
+type Config struct {
+	Name string
+	// Vaults is the number of independently accessible partitions
+	// (32 in HMC 2.0; 1 models a conventional DRAM module).
+	Vaults int
+	// VaultBandwidth is bytes/second per vault controller.
+	VaultBandwidth float64
+	// ExternalLinks and LinkBandwidth (bytes/second each) describe the
+	// host-facing serdes links.
+	ExternalLinks int
+	LinkBandwidth float64
+	// CapacityBytes is the module capacity.
+	CapacityBytes int64
+}
+
+// HMC2 returns the Hybrid Memory Cube 2.0 configuration used
+// throughout the paper: 32 vaults x 10 GB/s = 320 GB/s internal,
+// 4 links x 60 GB/s = 240 GB/s external, 8 GB capacity.
+func HMC2() Config {
+	return Config{
+		Name:           "hmc2",
+		Vaults:         32,
+		VaultBandwidth: 10e9,
+		ExternalLinks:  4,
+		LinkBandwidth:  60e9,
+		CapacityBytes:  8 << 30,
+	}
+}
+
+// DDR4 returns the conventional-DRAM envelope the paper uses for the
+// CPU baseline ("optimistically, standard DRAM modules provide up to
+// 25 GB/s of memory bandwidth").
+func DDR4() Config {
+	return Config{
+		Name:           "ddr4",
+		Vaults:         1,
+		VaultBandwidth: 25e9,
+		ExternalLinks:  1,
+		LinkBandwidth:  25e9,
+		CapacityBytes:  16 << 30,
+	}
+}
+
+// InternalBandwidth returns the aggregate vault-side bandwidth.
+func (c Config) InternalBandwidth() float64 {
+	return float64(c.Vaults) * c.VaultBandwidth
+}
+
+// ExternalBandwidth returns the aggregate host-link bandwidth.
+func (c Config) ExternalBandwidth() float64 {
+	return float64(c.ExternalLinks) * c.LinkBandwidth
+}
+
+// VaultStreamTime returns the time for one vault controller to stream
+// n contiguous bytes.
+func (c Config) VaultStreamTime(n int64) time.Duration {
+	return time.Duration(float64(n) / c.VaultBandwidth * float64(time.Second))
+}
+
+// StreamTime returns the time to stream n bytes split evenly over all
+// vaults in parallel — the best case for the large contiguous bucket
+// scans of kNN.
+func (c Config) StreamTime(n int64) time.Duration {
+	return time.Duration(float64(n) / c.InternalBandwidth() * float64(time.Second))
+}
+
+// LinkTime returns the time to move n bytes across the external links,
+// the cost of shipping results (or, for a host-side scan, the whole
+// dataset) off the module.
+func (c Config) LinkTime(n int64) time.Duration {
+	return time.Duration(float64(n) / c.ExternalBandwidth() * float64(time.Second))
+}
+
+// Partition describes one vault's shard of a dataset of n items: the
+// half-open item range [Start, End).
+type Partition struct {
+	Vault int
+	Start int
+	End   int
+}
+
+// PartitionItems splits n items across the module's vaults in
+// contiguous, nearly equal ranges — the layout the SSAM uses so each
+// accelerator streams its own vault ("most data accesses to memory are
+// large contiguously allocated blocks").
+func (c Config) PartitionItems(n int) []Partition {
+	parts := make([]Partition, 0, c.Vaults)
+	base := n / c.Vaults
+	rem := n % c.Vaults
+	start := 0
+	for v := 0; v < c.Vaults; v++ {
+		size := base
+		if v < rem {
+			size++
+		}
+		parts = append(parts, Partition{Vault: v, Start: start, End: start + size})
+		start += size
+	}
+	return parts
+}
+
+// Fits reports whether a dataset of the given byte size fits in one
+// module; callers compose multiple modules ("these additional links
+// and SSAM modules allow us to scale up the capacity") when it does
+// not.
+func (c Config) Fits(bytes int64) bool {
+	return bytes <= c.CapacityBytes
+}
+
+// ModulesNeeded returns how many modules a dataset of the given byte
+// size spans.
+func (c Config) ModulesNeeded(bytes int64) int {
+	if bytes <= 0 {
+		return 1
+	}
+	n := int((bytes + c.CapacityBytes - 1) / c.CapacityBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package hmc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHMC2Envelope(t *testing.T) {
+	c := HMC2()
+	if c.Vaults != 32 {
+		t.Fatalf("Vaults = %d, want 32", c.Vaults)
+	}
+	if got := c.InternalBandwidth(); got != 320e9 {
+		t.Fatalf("internal bandwidth = %v, want 320 GB/s", got)
+	}
+	if got := c.ExternalBandwidth(); got != 240e9 {
+		t.Fatalf("external bandwidth = %v, want 240 GB/s", got)
+	}
+}
+
+func TestDDR4Envelope(t *testing.T) {
+	c := DDR4()
+	if got := c.InternalBandwidth(); got != 25e9 {
+		t.Fatalf("DDR4 bandwidth = %v, want 25 GB/s", got)
+	}
+}
+
+func TestStreamTimes(t *testing.T) {
+	c := HMC2()
+	// 320 GB across 320 GB/s = 1 s.
+	if got := c.StreamTime(320e9); got != time.Second {
+		t.Fatalf("StreamTime = %v, want 1s", got)
+	}
+	// One vault streams 10 GB in 1 s.
+	if got := c.VaultStreamTime(10e9); got != time.Second {
+		t.Fatalf("VaultStreamTime = %v, want 1s", got)
+	}
+	// 240 GB over links = 1 s.
+	if got := c.LinkTime(240e9); got != time.Second {
+		t.Fatalf("LinkTime = %v, want 1s", got)
+	}
+}
+
+func TestInternalExceedsExternal(t *testing.T) {
+	// The whole premise of near-data processing: internal bandwidth
+	// exceeds what the links expose to the host.
+	c := HMC2()
+	if c.InternalBandwidth() <= c.ExternalBandwidth() {
+		t.Fatal("internal bandwidth should exceed external")
+	}
+}
+
+func TestPartitionItemsQuick(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)
+		c := HMC2()
+		parts := c.PartitionItems(n)
+		if len(parts) != c.Vaults {
+			return false
+		}
+		total := 0
+		prevEnd := 0
+		minSize, maxSize := 1<<30, -1
+		for i, p := range parts {
+			if p.Vault != i || p.Start != prevEnd || p.End < p.Start {
+				return false
+			}
+			size := p.End - p.Start
+			total += size
+			prevEnd = p.End
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+		}
+		// Contiguous cover, near-equal shards.
+		return total == n && prevEnd == n && maxSize-minSize <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitsAndModules(t *testing.T) {
+	c := HMC2()
+	if !c.Fits(8 << 30) {
+		t.Fatal("8 GB should fit")
+	}
+	if c.Fits(9 << 30) {
+		t.Fatal("9 GB should not fit")
+	}
+	if got := c.ModulesNeeded(0); got != 1 {
+		t.Fatalf("ModulesNeeded(0) = %d", got)
+	}
+	if got := c.ModulesNeeded(8 << 30); got != 1 {
+		t.Fatalf("ModulesNeeded(8GB) = %d", got)
+	}
+	if got := c.ModulesNeeded(17 << 30); got != 3 {
+		t.Fatalf("ModulesNeeded(17GB) = %d", got)
+	}
+}

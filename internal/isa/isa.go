@@ -1,0 +1,251 @@
+// Package isa defines the SSAM processing-unit instruction set of
+// Table II: a fully integrated scalar/vector ISA with 32 scalar and 8
+// vector registers, augmented with the similarity-search units — a
+// hardware priority queue (PQUEUE_INSERT / PQUEUE_LOAD / PQUEUE_RESET),
+// a hardware stack (PUSH / POP), a fused xor-popcount (SFXP / VFXP),
+// and a stream prefetch (MEM_FETCH).
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Ops marked (S/V) in Table II exist in scalar and vector
+// forms, selected by Inst.Vector; control, stack and priority-queue
+// ops are scalar-only.
+const (
+	// Arithmetic (S/V).
+	ADD Op = iota
+	SUB
+	MULT
+	POPCOUNT
+	ADDI
+	SUBI
+	MULTI
+	// Bitwise / shift (S/V).
+	OR
+	AND
+	NOT
+	XOR
+	ANDI
+	ORI
+	XORI
+	SR
+	SL
+	SRA
+	// Control (S).
+	BNE
+	BGT
+	BLT
+	BE
+	J
+	// Stack unit (S).
+	POP
+	PUSH
+	// Register move / memory (S/V).
+	SVMOVE
+	VSMOVE
+	MEMFETCH
+	LOAD
+	STORE
+	// SSAM extensions.
+	PQUEUEINSERT
+	PQUEUELOAD
+	PQUEUERESET
+	FXP
+	// HALT ends a kernel (assembler convenience; encoded as a real op
+	// so binaries are self-terminating).
+	HALT
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	ADD: "ADD", SUB: "SUB", MULT: "MULT", POPCOUNT: "POPCOUNT",
+	ADDI: "ADDI", SUBI: "SUBI", MULTI: "MULTI",
+	OR: "OR", AND: "AND", NOT: "NOT", XOR: "XOR",
+	ANDI: "ANDI", ORI: "ORI", XORI: "XORI",
+	SR: "SR", SL: "SL", SRA: "SRA",
+	BNE: "BNE", BGT: "BGT", BLT: "BLT", BE: "BE", J: "J",
+	POP: "POP", PUSH: "PUSH",
+	SVMOVE: "SVMOVE", VSMOVE: "VSMOVE", MEMFETCH: "MEM_FETCH",
+	LOAD: "LOAD", STORE: "STORE",
+	PQUEUEINSERT: "PQUEUE_INSERT", PQUEUELOAD: "PQUEUE_LOAD",
+	PQUEUERESET: "PQUEUE_RESET", FXP: "FXP",
+	HALT: "HALT",
+}
+
+// String returns the Table II mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// VectorCapable reports whether the op has a vector form (the S/V rows
+// of Table II).
+func (o Op) VectorCapable() bool {
+	switch o {
+	case ADD, SUB, MULT, POPCOUNT, ADDI, SUBI, MULTI,
+		OR, AND, NOT, XOR, ANDI, ORI, XORI, SR, SL, SRA,
+		SVMOVE, VSMOVE, LOAD, STORE, FXP, MEMFETCH:
+		return true
+	}
+	return false
+}
+
+// HasImmediate reports whether the op carries an immediate operand.
+func (o Op) HasImmediate() bool {
+	switch o {
+	case ADDI, SUBI, MULTI, ANDI, ORI, XORI, SR, SL, SRA,
+		BNE, BGT, BLT, BE, J, LOAD, STORE, MEMFETCH,
+		SVMOVE, VSMOVE, PQUEUELOAD:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the op redirects control flow.
+func (o Op) IsBranch() bool {
+	switch o {
+	case BNE, BGT, BLT, BE, J:
+		return true
+	}
+	return false
+}
+
+// Register-file shape (Section III-C: "32 scalar registers, and 8
+// vector registers are sufficient").
+const (
+	NumScalarRegs = 32
+	NumVectorRegs = 8
+)
+
+// Inst is one decoded instruction. Rd/Rs1/Rs2 index the scalar file
+// for scalar ops and the vector file for vector ops (SVMOVE and VSMOVE
+// mix: SVMOVE vd, rs1; VSMOVE rd, vs1).
+type Inst struct {
+	Op     Op
+	Vector bool
+	Rd     uint8
+	Rs1    uint8
+	Rs2    uint8
+	Imm    int32
+}
+
+// String renders the instruction in assembler syntax.
+func (i Inst) String() string {
+	name := i.Op.String()
+	if i.Vector && i.Op != SVMOVE && i.Op != VSMOVE {
+		name = "V" + name
+	}
+	if i.Op.HasImmediate() {
+		return fmt.Sprintf("%s r%d, r%d, r%d, %d", name, i.Rd, i.Rs1, i.Rs2, i.Imm)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d", name, i.Rd, i.Rs1, i.Rs2)
+}
+
+// Validate checks structural invariants: register indices in range and
+// vector flag only on vector-capable ops.
+func (i Inst) Validate() error {
+	if i.Op >= numOps {
+		return fmt.Errorf("isa: invalid opcode %d", i.Op)
+	}
+	if i.Vector && !i.Op.VectorCapable() {
+		return fmt.Errorf("isa: %s has no vector form", i.Op)
+	}
+	scalarMax := uint8(NumScalarRegs)
+	vectorMax := uint8(NumVectorRegs)
+	max := scalarMax
+	if i.Vector {
+		max = vectorMax
+	}
+	// SVMOVE reads scalar, writes vector; VSMOVE the reverse; vector
+	// LOAD/STORE move a vector register but address through a scalar.
+	switch i.Op {
+	case LOAD, STORE:
+		if i.Vector {
+			if i.Rd >= vectorMax || i.Rs1 >= scalarMax {
+				return fmt.Errorf("isa: vector %s register out of range: %v", i.Op, i)
+			}
+			return nil
+		}
+	case SVMOVE:
+		if i.Rd >= vectorMax || i.Rs1 >= scalarMax {
+			return fmt.Errorf("isa: SVMOVE register out of range: %v", i)
+		}
+		return nil
+	case VSMOVE:
+		if i.Rd >= scalarMax || i.Rs1 >= vectorMax {
+			return fmt.Errorf("isa: VSMOVE register out of range: %v", i)
+		}
+		return nil
+	}
+	if i.Rd >= max || i.Rs1 >= max || i.Rs2 >= max {
+		return fmt.Errorf("isa: register out of range: %v", i)
+	}
+	return nil
+}
+
+// InstBytes is the encoded size of one instruction: op(1) flags(1)
+// rd(1) rs1(1) rs2(1) pad(3) imm(4), little-endian.
+const InstBytes = 12
+
+// Encode packs the instruction into its binary form.
+func (i Inst) Encode() [InstBytes]byte {
+	var b [InstBytes]byte
+	b[0] = byte(i.Op)
+	if i.Vector {
+		b[1] = 1
+	}
+	b[2], b[3], b[4] = i.Rd, i.Rs1, i.Rs2
+	binary.LittleEndian.PutUint32(b[8:12], uint32(i.Imm))
+	return b
+}
+
+// Decode is the inverse of Encode.
+func Decode(b [InstBytes]byte) Inst {
+	return Inst{
+		Op:     Op(b[0]),
+		Vector: b[1] != 0,
+		Rd:     b[2],
+		Rs1:    b[3],
+		Rs2:    b[4],
+		Imm:    int32(binary.LittleEndian.Uint32(b[8:12])),
+	}
+}
+
+// EncodeProgram serializes a program to bytes.
+func EncodeProgram(prog []Inst) []byte {
+	out := make([]byte, 0, len(prog)*InstBytes)
+	for _, in := range prog {
+		b := in.Encode()
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// DecodeProgram parses bytes produced by EncodeProgram.
+func DecodeProgram(data []byte) ([]Inst, error) {
+	if len(data)%InstBytes != 0 {
+		return nil, fmt.Errorf("isa: program length %d not a multiple of %d", len(data), InstBytes)
+	}
+	prog := make([]Inst, len(data)/InstBytes)
+	for i := range prog {
+		var b [InstBytes]byte
+		copy(b[:], data[i*InstBytes:])
+		prog[i] = Decode(b)
+		if err := prog[i].Validate(); err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	return prog, nil
+}

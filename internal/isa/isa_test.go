@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIICoverage enumerates the full Table II instruction set and
+// checks every listed mnemonic is defined.
+func TestTableIICoverage(t *testing.T) {
+	want := map[string]Op{
+		// Arithmetic (S/V).
+		"ADD": ADD, "SUB": SUB, "MULT": MULT, "POPCOUNT": POPCOUNT,
+		"ADDI": ADDI, "SUBI": SUBI, "MULTI": MULTI,
+		// Bitwise/shift (S/V).
+		"OR": OR, "AND": AND, "NOT": NOT, "XOR": XOR,
+		"ANDI": ANDI, "ORI": ORI, "XORI": XORI,
+		"SR": SR, "SL": SL, "SRA": SRA,
+		// Control (S).
+		"BNE": BNE, "BGT": BGT, "BLT": BLT, "BE": BE, "J": J,
+		// Stack unit (S).
+		"POP": POP, "PUSH": PUSH,
+		// Moves/memory (S/V).
+		"SVMOVE": SVMOVE, "VSMOVE": VSMOVE, "MEM_FETCH": MEMFETCH,
+		"LOAD": LOAD, "STORE": STORE,
+		// New SSAM instructions.
+		"PQUEUE_INSERT": PQUEUEINSERT, "PQUEUE_LOAD": PQUEUELOAD,
+		"PQUEUE_RESET": PQUEUERESET, "FXP": FXP,
+	}
+	for name, op := range want {
+		if op.String() != name {
+			t.Errorf("op %d: String() = %q, want %q", op, op.String(), name)
+		}
+	}
+	if NumOps != len(want)+1 { // +1 for HALT
+		t.Errorf("NumOps = %d, want %d", NumOps, len(want)+1)
+	}
+}
+
+func TestVectorCapable(t *testing.T) {
+	for _, op := range []Op{ADD, SUB, MULT, POPCOUNT, XOR, SR, LOAD, STORE, FXP} {
+		if !op.VectorCapable() {
+			t.Errorf("%s should be vector-capable", op)
+		}
+	}
+	for _, op := range []Op{BNE, J, PUSH, POP, PQUEUEINSERT, PQUEUERESET, HALT} {
+		if op.VectorCapable() {
+			t.Errorf("%s should be scalar-only", op)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(opRaw, flags, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Inst{
+			Op:     Op(int(opRaw) % NumOps),
+			Vector: flags&1 != 0,
+			Rd:     rd, Rs1: rs1, Rs2: rs2, Imm: imm,
+		}
+		return Decode(in.Encode()) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	prog := []Inst{
+		{Op: ADDI, Rd: 1, Rs1: 0, Imm: 42},
+		{Op: ADD, Vector: true, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: HALT},
+	}
+	data := EncodeProgram(prog)
+	if len(data) != 3*InstBytes {
+		t.Fatalf("encoded %d bytes", len(data))
+	}
+	back, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Fatalf("inst %d: %v != %v", i, back[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, InstBytes+1)); err == nil {
+		t.Fatal("no error on ragged program")
+	}
+	bad := Inst{Op: BNE, Vector: true} // control ops have no vector form
+	if _, err := DecodeProgram(EncodeProgram([]Inst{bad})); err == nil {
+		t.Fatal("no error on invalid instruction")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		in  Inst
+		bad bool
+	}{
+		{Inst{Op: ADD, Rd: 31, Rs1: 31, Rs2: 31}, false},
+		{Inst{Op: ADD, Rd: 32}, true},
+		{Inst{Op: ADD, Vector: true, Rd: 7, Rs1: 7, Rs2: 7}, false},
+		{Inst{Op: ADD, Vector: true, Rd: 8}, true},
+		{Inst{Op: J, Vector: true}, true},
+		{Inst{Op: SVMOVE, Rd: 7, Rs1: 31}, false},
+		{Inst{Op: SVMOVE, Rd: 8, Rs1: 0}, true},
+		{Inst{Op: VSMOVE, Rd: 31, Rs1: 7}, false},
+		{Inst{Op: VSMOVE, Rd: 0, Rs1: 8}, true},
+		{Inst{Op: Op(200)}, true},
+	}
+	for i, c := range cases {
+		err := c.in.Validate()
+		if (err != nil) != c.bad {
+			t.Errorf("case %d (%v): err=%v, want bad=%v", i, c.in, err, c.bad)
+		}
+	}
+}
+
+func TestHasImmediateAndBranch(t *testing.T) {
+	if !ADDI.HasImmediate() || ADD.HasImmediate() {
+		t.Fatal("HasImmediate wrong for ADD/ADDI")
+	}
+	if !J.IsBranch() || !BNE.IsBranch() || ADD.IsBranch() {
+		t.Fatal("IsBranch wrong")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{Op: ADD, Vector: true, Rd: 1, Rs1: 2, Rs2: 3}
+	if s := in.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		in := Inst{Op: Op(rng.Intn(NumOps)), Rd: uint8(rng.Intn(8))}
+		if in.String() == "" {
+			t.Fatal("empty String")
+		}
+	}
+}

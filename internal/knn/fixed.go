@@ -1,0 +1,126 @@
+package knn
+
+import (
+	"sync"
+
+	"ssam/internal/topk"
+	"ssam/internal/vec"
+)
+
+// FixedEngine is an exact linear-scan engine over Q16.16 fixed-point
+// vectors (Section II-D: fixed-point arithmetic is much cheaper in
+// hardware and loses negligible accuracy). Only Euclidean and
+// Manhattan have fixed-point kernels.
+type FixedEngine struct {
+	data    []int32
+	dim     int
+	n       int
+	metric  vec.Metric
+	workers int
+}
+
+// NewFixedEngine creates a fixed-point linear engine. metric must be
+// vec.Euclidean or vec.Manhattan.
+func NewFixedEngine(data []int32, dim int, metric vec.Metric, workers int) *FixedEngine {
+	if dim <= 0 || len(data)%dim != 0 {
+		panic("knn: data length not a multiple of dim")
+	}
+	if metric != vec.Euclidean && metric != vec.Manhattan {
+		panic("knn: fixed-point engine supports euclidean and manhattan only")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	return &FixedEngine{data: data, dim: dim, n: len(data) / dim, metric: metric, workers: workers}
+}
+
+// N returns the database size.
+func (e *FixedEngine) N() int { return e.n }
+
+// Row returns fixed-point database vector i.
+func (e *FixedEngine) Row(i int) []int32 { return e.data[i*e.dim : (i+1)*e.dim] }
+
+// Search returns the k nearest neighbors of the fixed-point query q.
+// Distances in the results are raw fixed-point units.
+func (e *FixedEngine) Search(q []int32, k int) []topk.Result {
+	dist := vec.SquaredL2Fixed
+	if e.metric == vec.Manhattan {
+		dist = vec.L1Fixed
+	}
+	scan := func(lo, hi int) []topk.Result {
+		sel := topk.New(k)
+		for i := lo; i < hi; i++ {
+			sel.Push(i, float64(dist(q, e.Row(i))))
+		}
+		return sel.Results()
+	}
+	if e.workers == 1 || e.n < 4*e.workers {
+		return scan(0, e.n)
+	}
+	lists := make([][]topk.Result, e.workers)
+	var wg sync.WaitGroup
+	chunk := (e.n + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, e.n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lists[w] = scan(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return topk.Merge(k, lists...)
+}
+
+// HammingEngine is an exact linear-scan engine over binarized vectors
+// using Hamming distance, the workload of Table V's Hamming row and
+// the Table VI SSAM-vs-AP comparison.
+type HammingEngine struct {
+	data    []vec.Binary
+	workers int
+}
+
+// NewHammingEngine creates a Hamming-space linear engine.
+func NewHammingEngine(data []vec.Binary, workers int) *HammingEngine {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &HammingEngine{data: data, workers: workers}
+}
+
+// N returns the database size.
+func (e *HammingEngine) N() int { return len(e.data) }
+
+// Search returns the k nearest codes to q by Hamming distance.
+func (e *HammingEngine) Search(q vec.Binary, k int) []topk.Result {
+	scan := func(lo, hi int) []topk.Result {
+		sel := topk.New(k)
+		for i := lo; i < hi; i++ {
+			sel.Push(i, float64(vec.Hamming(q, e.data[i])))
+		}
+		return sel.Results()
+	}
+	n := len(e.data)
+	if e.workers == 1 || n < 4*e.workers {
+		return scan(0, n)
+	}
+	lists := make([][]topk.Result, e.workers)
+	var wg sync.WaitGroup
+	chunk := (n + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lists[w] = scan(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return topk.Merge(k, lists...)
+}

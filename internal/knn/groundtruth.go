@@ -1,0 +1,13 @@
+package knn
+
+import (
+	"ssam/internal/topk"
+	"ssam/internal/vec"
+)
+
+// GroundTruth computes the exact Euclidean neighbor sets for a batch
+// of queries — the S_E reference sets of the paper's accuracy metric.
+func GroundTruth(data []float32, dim int, queries [][]float32, k, workers int) [][]topk.Result {
+	e := NewEngine(data, dim, vec.Euclidean, workers)
+	return e.SearchBatch(queries, k)
+}

@@ -1,0 +1,176 @@
+// Package knn implements exact k-nearest-neighbor search by linear
+// scan, the baseline every experiment in the SSAM paper builds on
+// (Section II: "linear search performance is still valuable since
+// higher accuracy targets reduce to linear search"). Engines exist for
+// float32, 32-bit fixed-point, and binarized Hamming-space databases,
+// each with a sequential and a multi-goroutine batched form.
+package knn
+
+import (
+	"runtime"
+	"sync"
+
+	"ssam/internal/topk"
+	"ssam/internal/vec"
+)
+
+// Searcher is the interface satisfied by every kNN engine and index in
+// this repository: exact linear engines, kd-tree forests, hierarchical
+// k-means trees, and multi-probe LSH.
+type Searcher interface {
+	// Search returns the k nearest database ids to q, closest first.
+	Search(q []float32, k int) []topk.Result
+}
+
+// Stats records the work performed by a query, the raw material for
+// the Table I instruction-mix characterization.
+type Stats struct {
+	DistEvals int // full distance computations
+	Dims      int // total vector dimensions touched by distance math
+	PQInserts int // candidate offers to the top-k structure
+	PQKept    int // offers that were admitted
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.DistEvals += other.DistEvals
+	s.Dims += other.Dims
+	s.PQInserts += other.PQInserts
+	s.PQKept += other.PQKept
+}
+
+// Engine is an exact linear-scan kNN engine over float32 vectors.
+type Engine struct {
+	data    []float32
+	dim     int
+	n       int
+	metric  vec.Metric
+	workers int
+}
+
+// NewEngine creates a linear engine over a flattened row-major
+// database. workers <= 0 selects GOMAXPROCS.
+func NewEngine(data []float32, dim int, metric vec.Metric, workers int) *Engine {
+	if dim <= 0 || len(data)%dim != 0 {
+		panic("knn: data length not a multiple of dim")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{data: data, dim: dim, n: len(data) / dim, metric: metric, workers: workers}
+}
+
+// N returns the database size.
+func (e *Engine) N() int { return e.n }
+
+// Dim returns the vector dimensionality.
+func (e *Engine) Dim() int { return e.dim }
+
+// Metric returns the engine's distance metric.
+func (e *Engine) Metric() vec.Metric { return e.metric }
+
+// Row returns database vector i.
+func (e *Engine) Row(i int) []float32 { return e.data[i*e.dim : (i+1)*e.dim] }
+
+// Search scans the whole database for the k nearest neighbors of q,
+// sharding the scan across the engine's workers.
+func (e *Engine) Search(q []float32, k int) []topk.Result {
+	res, _ := e.SearchStats(q, k)
+	return res
+}
+
+// SearchStats is Search plus work accounting.
+func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, Stats) {
+	if e.workers == 1 || e.n < 4*e.workers {
+		return e.scanRange(q, k, 0, e.n)
+	}
+	type part struct {
+		res   []topk.Result
+		stats Stats
+	}
+	parts := make([]part, e.workers)
+	var wg sync.WaitGroup
+	chunk := (e.n + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, e.n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w].res, parts[w].stats = e.scanRange(q, k, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var stats Stats
+	lists := make([][]topk.Result, 0, e.workers)
+	for _, p := range parts {
+		lists = append(lists, p.res)
+		stats.Add(p.stats)
+	}
+	return topk.Merge(k, lists...), stats
+}
+
+func (e *Engine) scanRange(q []float32, k, lo, hi int) ([]topk.Result, Stats) {
+	sel := topk.New(k)
+	var st Stats
+	for i := lo; i < hi; i++ {
+		d := vec.Distance(e.metric, q, e.Row(i))
+		st.DistEvals++
+		st.Dims += e.dim
+		st.PQInserts++
+		if sel.Push(i, d) {
+			st.PQKept++
+		}
+	}
+	return sel.Results(), st
+}
+
+// SearchBatch runs one Search per query, parallelized across queries.
+func (e *Engine) SearchBatch(qs [][]float32, k int) [][]topk.Result {
+	return batch(qs, k, e.workers, func(q []float32, k int) []topk.Result {
+		res, _ := e.scanRangeAll(q, k)
+		return res
+	})
+}
+
+func (e *Engine) scanRangeAll(q []float32, k int) ([]topk.Result, Stats) {
+	return e.scanRange(q, k, 0, e.n)
+}
+
+// batch fans queries out over workers goroutines, preserving order.
+func batch(qs [][]float32, k, workers int, search func([]float32, int) []topk.Result) [][]topk.Result {
+	out := make([][]topk.Result, len(qs))
+	if workers <= 1 || len(qs) == 1 {
+		for i, q := range qs {
+			out[i] = search(q, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = search(qs[i], k)
+			}
+		}()
+	}
+	for i := range qs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

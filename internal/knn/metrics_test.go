@@ -1,0 +1,63 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssam/internal/vec"
+)
+
+// Histogram-like non-negative data for the Chi-squared and Jaccard
+// metrics.
+func histData(n, dim int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, n*dim)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	return data
+}
+
+func TestEngineChiSquared(t *testing.T) {
+	data := histData(400, 12, 3)
+	e := NewEngine(data, 12, vec.ChiSquared, 1)
+	q := data[24 : 24+12] // row 2
+	res := e.Search(q, 3)
+	if res[0].ID != 2 || res[0].Dist != 0 {
+		t.Fatalf("chi2 self query = %+v", res[0])
+	}
+	want := bruteForce(data, 12, q, 3, vec.ChiSquared)
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("chi2 result %d: %+v != %+v", i, res[i], want[i])
+		}
+	}
+}
+
+func TestEngineJaccard(t *testing.T) {
+	data := histData(400, 12, 5)
+	e := NewEngine(data, 12, vec.JaccardMetric, 4)
+	q := data[120 : 120+12] // row 10
+	res := e.Search(q, 5)
+	if res[0].ID != 10 || res[0].Dist != 0 {
+		t.Fatalf("jaccard self query = %+v", res[0])
+	}
+	want := bruteForce(data, 12, q, 5, vec.JaccardMetric)
+	for i := range want {
+		if res[i].Dist != want[i].Dist {
+			t.Fatalf("jaccard result %d: %+v != %+v", i, res[i], want[i])
+		}
+	}
+}
+
+func TestEngineCosineParallelAgreement(t *testing.T) {
+	data := testData(800, 10, 8)
+	q := testData(1, 10, 9)
+	a := NewEngine(data, 10, vec.Cosine, 1).Search(q, 6)
+	b := NewEngine(data, 10, vec.Cosine, 6).Search(q, 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cosine parallel mismatch at %d", i)
+		}
+	}
+}

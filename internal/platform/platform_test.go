@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnvelopes(t *testing.T) {
+	for _, p := range All() {
+		if p.AreaMM2 <= 0 || p.DynamicPowerW <= 0 || p.MemBandwidth <= 0 {
+			t.Errorf("%s: non-positive envelope %+v", p.Name, p)
+		}
+		if p.Efficiency <= 0 || p.Efficiency > 1 {
+			t.Errorf("%s: efficiency %v out of (0,1]", p.Name, p.Efficiency)
+		}
+	}
+}
+
+func TestLinearQPSBandwidthBound(t *testing.T) {
+	cpu := XeonE5()
+	// 1M x 960-d floats = 3.84 GB per scan.
+	qps := cpu.LinearQPS(1_000_000, 960)
+	roofline := cpu.MemBandwidth * cpu.Efficiency / (1_000_000 * 960 * 4)
+	if qps > roofline {
+		t.Fatalf("qps %v above roofline %v", qps, roofline)
+	}
+	if qps < 0.9*roofline {
+		t.Fatalf("qps %v far below roofline %v for a huge scan", qps, roofline)
+	}
+}
+
+func TestGPUFasterThanCPURaw(t *testing.T) {
+	n, d := 1_000_000, 960
+	if TitanX().LinearQPS(n, d) <= XeonE5().LinearQPS(n, d) {
+		t.Fatal("GPU should beat CPU in raw linear-scan throughput")
+	}
+}
+
+func TestFPGAEnergyCompetitive(t *testing.T) {
+	// The FPGA draws little power; it should beat the CPU on
+	// queries/joule even when slower in raw throughput.
+	n, d := 1_000_000, 960
+	if Kintex7().QueriesPerJoule(n, d) <= XeonE5().QueriesPerJoule(n, d) {
+		t.Fatal("FPGA should beat CPU on energy efficiency")
+	}
+}
+
+func TestQPSScalesInverselyWithData(t *testing.T) {
+	cpu := XeonE5()
+	small := cpu.LinearQPS(100_000, 100)
+	big := cpu.LinearQPS(1_000_000, 100)
+	if big >= small {
+		t.Fatal("more data should mean fewer queries/s")
+	}
+	ratio := small / big
+	if ratio < 8 || ratio > 10.5 {
+		t.Fatalf("scan-time scaling ratio = %v, want ~10", ratio)
+	}
+}
+
+func TestLinearQPSBytes(t *testing.T) {
+	cpu := XeonE5()
+	// Binarized GloVe: 1.2M x 100 bits ~ 1.2M x 16 bytes.
+	bin := cpu.LinearQPSBytes(1.2e6 * 16)
+	flt := cpu.LinearQPS(1_200_000, 100)
+	if bin <= flt {
+		t.Fatal("binarized scan should be faster than float scan")
+	}
+	if cpu.LinearQPSBytes(0) != 0 {
+		t.Fatal("zero bytes should yield zero qps")
+	}
+}
+
+func TestAreaNormAndEnergyMetrics(t *testing.T) {
+	p := XeonE5()
+	n, d := 100_000, 128
+	if p.AreaNormQPS(n, d) != p.LinearQPS(n, d)/p.AreaMM2 {
+		t.Fatal("AreaNormQPS inconsistent")
+	}
+	if p.QueriesPerJoule(n, d) != p.LinearQPS(n, d)/p.DynamicPowerW {
+		t.Fatal("QueriesPerJoule inconsistent")
+	}
+}
+
+func TestApproxQPS(t *testing.T) {
+	cpu := XeonE5()
+	fast := cpu.ApproxQPS(1e6, 100)   // scan 1 MB
+	slow := cpu.ApproxQPS(100e6, 100) // scan 100 MB
+	if fast <= slow {
+		t.Fatal("ApproxQPS not monotone in scanned volume")
+	}
+	// Indexed search must beat the full linear scan it prunes.
+	linear := cpu.LinearQPS(1_000_000, 960)
+	if cpu.ApproxQPS(38.4e6, 500) <= linear { // scanning 1% of the data
+		t.Fatal("1% scan should beat full scan")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := TitanX().String(); !strings.Contains(s, "gpu-titan-x") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,98 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+// busyActivity models one second of a fully utilized SSAM-vlen module
+// with the scan-like event mix the model is calibrated on.
+func busyActivity(vlen, pus int, clock float64) Activity {
+	inst := uint64(float64(pus) * clock)
+	vecInst := uint64(0.6 * float64(inst))
+	return Activity{
+		Seconds:      1,
+		Cycles:       uint64(clock),
+		Instructions: inst,
+		VectorInsts:  vecInst,
+		DRAMBytes:    uint64(float64(vecInst) * 4 * float64(vlen) / 2),
+		PQInserts:    uint64(0.01 * float64(inst)),
+		PUs:          pus,
+	}
+}
+
+func TestEnergyModelCalibration(t *testing.T) {
+	// A fully busy module must dissipate the Table III power.
+	for _, vlen := range SupportedVectorLengths() {
+		m, err := NewEnergyModel(vlen, 64, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := AcceleratorPower(vlen)
+		got := m.AveragePower(busyActivity(vlen, 64, 1e9))
+		if math.Abs(got-p.Total()) > 0.01*p.Total() {
+			t.Errorf("SSAM-%d: busy power %v, want %v", vlen, got, p.Total())
+		}
+	}
+}
+
+func TestIdlePowerIsStaticFloor(t *testing.T) {
+	m, err := NewEnergyModel(8, 64, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := Activity{Seconds: 1, Cycles: 1e9, PUs: 64}
+	got := m.AveragePower(idle)
+	if math.Abs(got-m.StaticW) > 1e-9 {
+		t.Fatalf("idle power = %v, want static floor %v", got, m.StaticW)
+	}
+	p, _ := AcceleratorPower(8)
+	if m.StaticW >= p.Total() {
+		t.Fatal("static floor should be below busy power")
+	}
+}
+
+func TestEnergyScalesWithWork(t *testing.T) {
+	m, err := NewEnergyModel(8, 64, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := busyActivity(8, 64, 1e9)
+	half.Instructions /= 2
+	half.VectorInsts /= 2
+	half.DRAMBytes /= 2
+	half.PQInserts /= 2
+	full := busyActivity(8, 64, 1e9)
+	if m.Energy(half) >= m.Energy(full) {
+		t.Fatal("less work should cost less energy")
+	}
+	if m.Energy(half) <= m.StaticW { // static floor still paid
+		t.Fatal("energy should exceed the static floor")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	a := Activity{Cycles: 1000, Instructions: 32000, PUs: 64}
+	if got := a.Utilization(); got != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+	if (Activity{}).Utilization() != 0 {
+		t.Fatal("zero activity utilization should be 0")
+	}
+}
+
+func TestEnergyModelErrors(t *testing.T) {
+	if _, err := NewEnergyModel(0, 64, 1e9); err == nil {
+		t.Fatal("vlen 0 accepted")
+	}
+	m, err := NewEnergyModel(4, 0, 1e9) // designPUs clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DesignPUs != 1 {
+		t.Fatalf("DesignPUs = %d, want 1", m.DesignPUs)
+	}
+	if m.AveragePower(Activity{}) != 0 {
+		t.Fatal("zero-window power should be 0")
+	}
+}

@@ -1,0 +1,141 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIVExactTotals(t *testing.T) {
+	// Table IV totals are self-consistent in the paper; our model must
+	// reproduce them exactly at the published points.
+	want := map[int]float64{2: 30.52, 4: 38.34, 8: 58.21, 16: 97.48}
+	for vlen, total := range want {
+		m, err := AcceleratorArea(vlen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Total()-total) > 0.02 {
+			t.Errorf("SSAM-%d area total = %v, want %v", vlen, m.Total(), total)
+		}
+	}
+}
+
+func TestTableIIIModules(t *testing.T) {
+	m, err := AcceleratorPower(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PriorityQueue != 1.42 || m.Scratchpad != 2.58 || m.RegFiles != 4.68 {
+		t.Fatalf("SSAM-8 power row = %+v", m)
+	}
+}
+
+func TestPowerGrowsWithVectorLength(t *testing.T) {
+	var prev float64
+	for i, vlen := range SupportedVectorLengths() {
+		m, err := AcceleratorPower(vlen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && m.Total() <= prev {
+			t.Errorf("power total not increasing at VL=%d", vlen)
+		}
+		prev = m.Total()
+	}
+}
+
+func TestAreaGrowsWithVectorLength(t *testing.T) {
+	var prev float64
+	for i, vlen := range SupportedVectorLengths() {
+		m, err := AcceleratorArea(vlen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && m.Total() <= prev {
+			t.Errorf("area total not increasing at VL=%d", vlen)
+		}
+		prev = m.Total()
+	}
+}
+
+func TestScratchpadDominatesArea(t *testing.T) {
+	// "a large portion of the accelerator design is devoted to the
+	// SRAMs composing the scratchpad memory"
+	for _, vlen := range SupportedVectorLengths() {
+		m, _ := AcceleratorArea(vlen)
+		if m.Scratchpad < 0.5*m.Total() {
+			t.Errorf("SSAM-%d scratchpad %.2f not dominant in %.2f", vlen, m.Scratchpad, m.Total())
+		}
+	}
+}
+
+func TestInterpolation(t *testing.T) {
+	m6, err := AcceleratorArea(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, _ := AcceleratorArea(4)
+	m8, _ := AcceleratorArea(8)
+	if m6.Total() <= m4.Total() || m6.Total() >= m8.Total() {
+		t.Fatalf("interpolated SSAM-6 total %v not between %v and %v",
+			m6.Total(), m4.Total(), m8.Total())
+	}
+	// Midpoint check.
+	want := (m4.Scratchpad + m8.Scratchpad) / 2
+	if math.Abs(m6.Scratchpad-want) > 1e-9 {
+		t.Fatalf("SSAM-6 scratchpad = %v, want %v", m6.Scratchpad, want)
+	}
+}
+
+func TestExtrapolationAndErrors(t *testing.T) {
+	if _, err := AcceleratorArea(0); err == nil {
+		t.Fatal("no error for VL=0")
+	}
+	m32, err := AcceleratorArea(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m16, _ := AcceleratorArea(16)
+	if m32.Total() <= m16.Total() {
+		t.Fatalf("extrapolated SSAM-32 (%v) not larger than SSAM-16 (%v)", m32.Total(), m16.Total())
+	}
+}
+
+func TestTechScaling(t *testing.T) {
+	if got := AreaScale(65, 65); got != 1 {
+		t.Fatalf("identity area scale = %v", got)
+	}
+	if got := AreaScale(90, 28); math.Abs(got-(28.0/90)*(28.0/90)) > 1e-12 {
+		t.Fatalf("AreaScale(90,28) = %v", got)
+	}
+	if got := PowerScale(65, 28); math.Abs(got-28.0/65) > 1e-12 {
+		t.Fatalf("PowerScale = %v", got)
+	}
+}
+
+func TestHMCLogicBudget(t *testing.T) {
+	// The paper: 729 mm^2 at 90 nm is ~70.6 mm^2 at 28 nm, "roughly
+	// the same or larger than our SSAM accelerator design".
+	b := HMCLogicBudget28nm()
+	if math.Abs(b-70.56) > 0.1 {
+		t.Fatalf("HMC logic budget = %v, want ~70.6", b)
+	}
+	m2, _ := AcceleratorArea(2)
+	m8, _ := AcceleratorArea(8)
+	if m2.Total() > b {
+		t.Errorf("SSAM-2 (%v mm^2) exceeds the HMC logic budget (%v)", m2.Total(), b)
+	}
+	_ = m8 // SSAM-8/16 exceed the 1.0 budget, as the paper notes.
+}
+
+func TestModuleArithmetic(t *testing.T) {
+	a := Module{1, 1, 1, 1, 1, 1, 1}
+	b := a.Scale(2)
+	if b.Total() != 14 {
+		t.Fatalf("Scale/Total = %v", b.Total())
+	}
+	c := a.Add(b)
+	if c.Total() != 21 {
+		t.Fatalf("Add/Total = %v", c.Total())
+	}
+}

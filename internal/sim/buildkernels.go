@@ -1,0 +1,192 @@
+package sim
+
+// Index-construction kernels (Section VI-B): the SSAM is "not limited
+// to approximate kNN search and can also be used for kNN index
+// construction". Two data-intensive scans dominate index builds and
+// are offloaded here:
+//
+//   - k-means assignment: every database vector scored against K
+//     centroids, the argmin written back (hierarchical k-means builds,
+//     "treating cluster centroids as the dataset and streaming the
+//     dataset in as kNN queries to determine the closest centroid");
+//   - per-dimension sum / sum-of-squares: the variance scan behind
+//     kd-tree cut selection ("SSAMs can be used to quickly scan the
+//     dataset and compute the variance across all dimensions").
+//
+// The host handles the short serialized phases (centroid update, cut
+// assignment), exactly as the paper describes.
+
+import "fmt"
+
+// KMeansScratchLayout describes the scratchpad ABI of the assignment
+// kernel: K centroids of padded words each, then a one-vector staging
+// buffer.
+type KMeansScratchLayout struct {
+	Padded     int // words per centroid / vector
+	K          int
+	VecBuf     int // word offset of the staging buffer
+	TotalWords int
+}
+
+// KMeansLayout computes the scratchpad layout for dims/vlen/K.
+func KMeansLayout(dims, vlen, k int) KMeansScratchLayout {
+	padded := PadDims(dims, vlen)
+	return KMeansScratchLayout{
+		Padded:     padded,
+		K:          k,
+		VecBuf:     k * padded,
+		TotalWords: (k + 1) * padded,
+	}
+}
+
+// KMeansAssignKernel emits the assignment kernel: for each of nvec
+// database vectors, copy the vector to the scratch staging buffer,
+// compute squared-L2 distance to each scratch-resident centroid, and
+// store the argmin centroid index to the assignment region that
+// follows the vectors in DRAM (word nvec*padded + vectorIndex).
+func KMeansAssignKernel(dims, nvec, vlen, k int) string {
+	lay := KMeansLayout(dims, vlen, k)
+	padded := lay.Padded
+	chunks := padded / vlen
+	assignBase := DRAMBase + nvec*padded
+	var w kernelWriter
+	w.line("; k-means assignment kernel: dims=%d (padded %d), nvec=%d, K=%d, VL=%d",
+		dims, padded, nvec, k, vlen)
+	w.line("\tXOR s0, s0, s0")
+	w.line("\tXOR s2, s2, s2            ; vector index")
+	w.line("\tADDI s3, s0, %d           ; nvec", nvec)
+	w.line("\tADDI s1, s0, %d           ; DRAM read cursor", DRAMBase)
+	w.line("\tADDI s16, s0, %d          ; assignment write cursor", assignBase)
+	w.line("outer:")
+	w.line("\tMEM_FETCH s1, %d", padded)
+	// Stage the vector into the scratch buffer.
+	w.line("\tADDI s6, s0, %d           ; staging cursor", lay.VecBuf)
+	w.line("\tXOR s4, s4, s4")
+	w.line("\tADDI s5, s0, %d", chunks)
+	w.line("copy:")
+	w.line("\tVLOAD v0, s1, 0")
+	w.line("\tVSTORE v0, s6, 0")
+	w.line("\tADDI s1, s1, %d", vlen)
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, copy")
+	// Centroid loop.
+	w.line("\tADDI s10, s0, 2147483647  ; best distance")
+	w.line("\tXOR s11, s11, s11         ; best index")
+	w.line("\tXOR s12, s12, s12         ; centroid index")
+	w.line("\tADDI s13, s0, %d          ; K", k)
+	w.line("\tXOR s14, s14, s14         ; centroid cursor")
+	w.line("cloop:")
+	w.line("\tVXOR v3, v3, v3")
+	w.line("\tXOR s4, s4, s4")
+	w.line("\tADDI s6, s0, %d           ; staged vector cursor", lay.VecBuf)
+	w.line("inner:")
+	w.line("\tVLOAD v0, s6, 0           ; vector chunk (scratch)")
+	w.line("\tVLOAD v1, s14, 0          ; centroid chunk (scratch)")
+	w.line("\tVSUB v2, v0, v1")
+	w.line("\tVMULT v2, v2, v2")
+	w.line("\tVADD v3, v3, v2")
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s14, s14, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, inner")
+	w.reduce("v3", "s7", vlen)
+	w.line("\tBLT s10, s7, worse        ; keep previous best?")
+	w.line("\tADD s10, s7, s0")
+	w.line("\tADD s11, s12, s0")
+	w.line("worse:")
+	w.line("\tADDI s12, s12, 1")
+	w.line("\tBLT s12, s13, cloop")
+	// Store assignment and advance.
+	w.line("\tSTORE s11, s16, 0")
+	w.line("\tADDI s16, s16, 1")
+	w.line("\tADDI s2, s2, 1")
+	w.line("\tBLT s2, s3, outer")
+	w.line("\tHALT")
+	return w.b.String()
+}
+
+// VarianceShifts are the pre-accumulation right-shifts the variance
+// kernel applies so 32-bit scratch accumulators cannot overflow over
+// nvec vectors.
+type VarianceShifts struct {
+	Sum int // applied to values before summing
+	Sq  int // applied to squared values before summing
+}
+
+// VarianceShiftsFor sizes the shifts for a scan of nvec vectors of
+// device fixed-point values with the given fraction shift (values
+// bounded by ~2^(4+shift)).
+func VarianceShiftsFor(nvec, shift int) VarianceShifts {
+	lg := 0
+	for 1<<lg < nvec {
+		lg++
+	}
+	s := VarianceShifts{}
+	if over := lg + 5 + shift - 30; over > 0 {
+		s.Sum = over
+	}
+	if over := lg + 10 + 2*shift - 30; over > 0 {
+		s.Sq = over
+	}
+	return s
+}
+
+// VarianceKernel emits the per-dimension sum / sum-of-squares scan:
+// scratch words [0, padded) accumulate shifted sums and [padded,
+// 2*padded) shifted sums of squares; the host zeroes the region first
+// and de-quantizes afterwards.
+func VarianceKernel(dims, nvec, vlen int, sh VarianceShifts) string {
+	padded := PadDims(dims, vlen)
+	chunks := padded / vlen
+	var w kernelWriter
+	w.line("; variance scan kernel: dims=%d (padded %d), nvec=%d, VL=%d, shifts sum>>%d sq>>%d",
+		dims, padded, nvec, vlen, sh.Sum, sh.Sq)
+	w.line("\tXOR s0, s0, s0")
+	w.line("\tXOR s2, s2, s2            ; vector index")
+	w.line("\tADDI s3, s0, %d           ; nvec", nvec)
+	w.line("\tADDI s1, s0, %d           ; DRAM cursor", DRAMBase)
+	w.line("outer:")
+	w.line("\tMEM_FETCH s1, %d", padded)
+	w.line("\tXOR s4, s4, s4")
+	w.line("\tADDI s5, s0, %d", chunks)
+	w.line("\tXOR s6, s6, s6            ; sum cursor")
+	w.line("\tADDI s7, s0, %d           ; sumsq cursor", padded)
+	w.line("inner:")
+	w.line("\tVLOAD v1, s1, 0           ; data chunk")
+	if sh.Sum > 0 {
+		w.line("\tVSRA v4, v1, %d", sh.Sum)
+	} else {
+		w.line("\tVADD v4, v1, v1")
+		w.line("\tVSUB v4, v4, v1       ; v4 = v1")
+	}
+	w.line("\tVLOAD v2, s6, 0           ; running sums")
+	w.line("\tVADD v2, v2, v4")
+	w.line("\tVSTORE v2, s6, 0")
+	w.line("\tVMULT v3, v1, v1")
+	if sh.Sq > 0 {
+		w.line("\tVSRA v3, v3, %d", sh.Sq)
+	}
+	w.line("\tVLOAD v2, s7, 0           ; running sums of squares")
+	w.line("\tVADD v2, v2, v3")
+	w.line("\tVSTORE v2, s7, 0")
+	w.line("\tADDI s1, s1, %d", vlen)
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s7, s7, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, inner")
+	w.line("\tADDI s2, s2, 1")
+	w.line("\tBLT s2, s3, outer")
+	w.line("\tHALT")
+	return w.b.String()
+}
+
+// checkScratchFit reports whether a k-means layout fits the default
+// 32 KB scratchpad.
+func (l KMeansScratchLayout) Fits(scratchWords int) error {
+	if l.TotalWords > scratchWords {
+		return fmt.Errorf("sim: k-means layout needs %d scratch words, have %d (reduce K or dims)",
+			l.TotalWords, scratchWords)
+	}
+	return nil
+}

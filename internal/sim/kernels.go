@@ -1,0 +1,257 @@
+package sim
+
+// Kernel generation: the paper's benchmarks are handwritten assembly
+// programs per configuration ("Each benchmark is handwritten using our
+// instruction set defined in Table II"). This file is the kernel
+// writer: it emits assembler source for the linear-scan distance
+// kernels at a given dimensionality, database size and vector length.
+//
+// Device ABI: the query occupies scratchpad words [0, paddedDims); the
+// database is at DRAMBase with paddedDims words per vector (zero
+// padded so every vector is a whole number of VectorLen chunks); the
+// kernel leaves the top-k (id, score) pairs in the hardware priority
+// queue, smaller scores closer.
+//
+// Register use: s0 is kept zero; s1 DRAM cursor; s2 id; s3 nvec;
+// s4 chunk counter; s5 chunks/vector; s6 query cursor; s7..s9
+// reduction temps; s10.. division/sqrt temps in the cosine fixup.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PadDims rounds dims up to a whole number of vector chunks.
+func PadDims(dims, vlen int) int {
+	return (dims + vlen - 1) / vlen * vlen
+}
+
+// HammingWords returns the packed word count for dims bits.
+func HammingWords(dims int) int { return (dims + 31) / 32 }
+
+// DeviceShift picks the fixed-point fraction bits for on-device data
+// so a squared-L2 accumulation over dim dimensions of values in
+// roughly [-16, 16] cannot overflow a 32-bit lane:
+// dim * (16 * 2^f)^2 <= 2^31.
+func DeviceShift(dim int) int {
+	lg := 0
+	for 1<<lg < dim {
+		lg++
+	}
+	f := (23 - lg) / 2
+	if f < 4 {
+		f = 4
+	}
+	if f > 12 {
+		f = 12
+	}
+	return f
+}
+
+// QuantizeDevice converts a float vector to device fixed point with
+// the given fraction shift, saturating at int32 range.
+func QuantizeDevice(v []float32, shift int) []int32 {
+	out := make([]int32, len(v))
+	scale := float64(int64(1) << uint(shift))
+	for i, x := range v {
+		f := float64(x) * scale
+		switch {
+		case f >= 2147483647:
+			out[i] = 2147483647
+		case f <= -2147483648:
+			out[i] = -2147483648
+		case f >= 0:
+			out[i] = int32(f + 0.5)
+		default:
+			out[i] = int32(f - 0.5)
+		}
+	}
+	return out
+}
+
+type kernelWriter struct {
+	b strings.Builder
+}
+
+func (w *kernelWriter) line(format string, args ...interface{}) {
+	fmt.Fprintf(&w.b, format+"\n", args...)
+}
+
+// prologue emits the outer-loop setup shared by all linear kernels.
+func (w *kernelWriter) prologue(nvec, wordsPerVec int) {
+	w.line("\tXOR s0, s0, s0")
+	w.line("\tXOR s2, s2, s2            ; id = 0")
+	w.line("\tADDI s3, s0, %d           ; nvec", nvec)
+	w.line("\tADDI s1, s0, %d           ; DRAM cursor", DRAMBase)
+	w.line("outer:")
+	w.line("\tMEM_FETCH s1, %d", wordsPerVec)
+}
+
+// innerLoopHead emits per-vector chunk-loop setup.
+func (w *kernelWriter) innerLoopHead(chunks int) {
+	w.line("\tXOR s4, s4, s4            ; chunk = 0")
+	w.line("\tADDI s5, s0, %d           ; chunks per vector", chunks)
+	w.line("\tXOR s6, s6, s6            ; query cursor")
+	w.line("inner:")
+	w.line("\tVLOAD v0, s6, 0           ; query chunk (scratchpad)")
+	w.line("\tVLOAD v1, s1, 0           ; database chunk (DRAM)")
+}
+
+// innerLoopTail advances cursors and loops.
+func (w *kernelWriter) innerLoopTail(vlen int) {
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s1, s1, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, inner")
+}
+
+// reduce sums vector register v into scalar s7 using VSMOVE/ADD.
+func (w *kernelWriter) reduce(vreg string, dst string, vlen int) {
+	w.line("\tXOR %s, %s, %s", dst, dst, dst)
+	for l := 0; l < vlen; l++ {
+		w.line("\tVSMOVE s9, %s, %d", vreg, l)
+		w.line("\tADD %s, %s, s9", dst, dst)
+	}
+}
+
+// epilogue inserts the score and loops over vectors.
+func (w *kernelWriter) epilogue(scoreReg string) {
+	w.line("\tPQUEUE_INSERT s2, %s", scoreReg)
+	w.line("\tADDI s2, s2, 1")
+	w.line("\tBLT s2, s3, outer")
+	w.line("\tHALT")
+}
+
+// EuclideanKernel emits a squared-L2 linear-scan kernel.
+func EuclideanKernel(dims, nvec, vlen int) string {
+	padded := PadDims(dims, vlen)
+	chunks := padded / vlen
+	var w kernelWriter
+	w.line("; squared-Euclidean linear kNN kernel: dims=%d (padded %d), nvec=%d, VL=%d", dims, padded, nvec, vlen)
+	w.prologue(nvec, padded)
+	w.line("\tVXOR v3, v3, v3           ; acc = 0")
+	w.innerLoopHead(chunks)
+	w.line("\tVSUB v2, v0, v1")
+	w.line("\tVMULT v2, v2, v2")
+	w.line("\tVADD v3, v3, v2")
+	w.innerLoopTail(vlen)
+	w.reduce("v3", "s7", vlen)
+	w.epilogue("s7")
+	return w.b.String()
+}
+
+// ManhattanKernel emits an L1 linear-scan kernel. Lane absolute value
+// uses the shift/xor/subtract identity |x| = (x ^ (x>>31)) - (x>>31).
+func ManhattanKernel(dims, nvec, vlen int) string {
+	padded := PadDims(dims, vlen)
+	chunks := padded / vlen
+	var w kernelWriter
+	w.line("; Manhattan linear kNN kernel: dims=%d (padded %d), nvec=%d, VL=%d", dims, padded, nvec, vlen)
+	w.prologue(nvec, padded)
+	w.line("\tVXOR v3, v3, v3")
+	w.innerLoopHead(chunks)
+	w.line("\tVSUB v2, v0, v1")
+	w.line("\tVSRA v4, v2, 31")
+	w.line("\tVXOR v2, v2, v4")
+	w.line("\tVSUB v2, v2, v4")
+	w.line("\tVADD v3, v3, v2")
+	w.innerLoopTail(vlen)
+	w.reduce("v3", "s7", vlen)
+	w.epilogue("s7")
+	return w.b.String()
+}
+
+// HammingKernel emits a Hamming linear-scan kernel over bit-packed
+// vectors (words 32-bit dims each) using the fused xor-popcount VFXP
+// unit. wordsPerVec is the packed (unpadded) word count.
+func HammingKernel(wordsPerVec, nvec, vlen int) string {
+	padded := PadDims(wordsPerVec, vlen)
+	chunks := padded / vlen
+	var w kernelWriter
+	w.line("; Hamming linear kNN kernel: words=%d (padded %d), nvec=%d, VL=%d", wordsPerVec, padded, nvec, vlen)
+	w.prologue(nvec, padded)
+	w.line("\tVXOR v3, v3, v3")
+	w.innerLoopHead(chunks)
+	w.line("\tVFXP v3, v0, v1           ; acc += popcount(q ^ b) per lane")
+	w.innerLoopTail(vlen)
+	w.reduce("v3", "s7", vlen)
+	w.epilogue("s7")
+	return w.b.String()
+}
+
+// CosineKernel emits a cosine-similarity linear-scan kernel: it
+// accumulates dot(q,b), |q|^2 and |b|^2 per vector, then runs the
+// paper's software fixed-point fixup ("fixed-point division for cosine
+// similarity is performed in software using shifts and subtracts"):
+// an unrolled integer square root of |b|^2 followed by an unrolled
+// restoring division, scoring -(dot/sqrt(|b|^2)) so smaller is closer.
+func CosineKernel(dims, nvec, vlen int) string {
+	padded := PadDims(dims, vlen)
+	chunks := padded / vlen
+	var w kernelWriter
+	w.line("; cosine linear kNN kernel: dims=%d (padded %d), nvec=%d, VL=%d", dims, padded, nvec, vlen)
+	w.prologue(nvec, padded)
+	w.line("\tVXOR v3, v3, v3           ; dot")
+	w.line("\tVXOR v4, v4, v4           ; |q|^2")
+	w.line("\tVXOR v5, v5, v5           ; |b|^2")
+	w.innerLoopHead(chunks)
+	w.line("\tVMULT v2, v0, v1")
+	w.line("\tVADD v3, v3, v2")
+	w.line("\tVMULT v2, v0, v0")
+	w.line("\tVADD v4, v4, v2")
+	w.line("\tVMULT v2, v1, v1")
+	w.line("\tVADD v5, v5, v2")
+	w.innerLoopTail(vlen)
+	w.reduce("v3", "s7", vlen)  // dot
+	w.reduce("v4", "s8", vlen)  // |q|^2 (kept to match the paper's term count)
+	w.reduce("v5", "s10", vlen) // |b|^2
+
+	// |dot|: s11 = |s7|, remember sign in s12 (s7 >> 31).
+	w.line("\tSRA s12, s7, 31")
+	w.line("\tXOR s11, s7, s12")
+	w.line("\tSUB s11, s11, s12")
+
+	// Integer sqrt of s13 = |b|^2, 16 unrolled iterations; result in
+	// s14 = floor(sqrt(|b|^2)).
+	w.line("\tADD s13, s10, s0")
+	w.line("\tXOR s14, s14, s14")
+	for i := 0; i < 16; i++ {
+		one := int32(1) << uint(30-2*i)
+		w.line("\tADDI s15, s14, %d", one)
+		w.line("\tBLT s13, s15, sq_skip%d", i)
+		w.line("\tSUB s13, s13, s15")
+		w.line("\tSRA s14, s14, 1")
+		w.line("\tADDI s14, s14, %d", one)
+		w.line("\tJ sq_next%d", i)
+		w.line("sq_skip%d:", i)
+		w.line("\tSRA s14, s14, 1")
+		w.line("sq_next%d:", i)
+	}
+	// Guard divisor >= 1.
+	w.line("\tBGT s14, s0, div_ok")
+	w.line("\tADDI s14, s0, 1")
+	w.line("div_ok:")
+
+	// Restoring division: s16 = |dot| / sqrt(|b|^2), 31 unrolled
+	// iterations of shift-compare-subtract ("fixed-point division ...
+	// performed in software using shifts and subtracts").
+	w.line("\tADD s17, s11, s0          ; dividend")
+	w.line("\tXOR s18, s18, s18         ; remainder")
+	w.line("\tXOR s16, s16, s16         ; quotient")
+	for i := 30; i >= 0; i-- {
+		w.line("\tSR s19, s17, %d", i)
+		w.line("\tANDI s19, s19, 1")
+		w.line("\tSL s18, s18, 1")
+		w.line("\tADD s18, s18, s19")
+		w.line("\tBLT s18, s14, dv_skip%d", i)
+		w.line("\tSUB s18, s18, s14")
+		w.line("\tADDI s16, s16, %d", int32(1)<<uint(i))
+		w.line("dv_skip%d:", i)
+	}
+	// Apply sign: score = -quotient if dot >= 0 else +quotient.
+	w.line("\tBLT s7, s0, cos_neg")
+	w.line("\tSUB s16, s0, s16")
+	w.line("cos_neg:")
+	w.epilogue("s16")
+	return w.b.String()
+}

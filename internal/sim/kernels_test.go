@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssam/internal/asm"
+	"ssam/internal/topk"
+	"ssam/internal/vec"
+)
+
+// buildLinearFixture quantizes a random float database and query to
+// device fixed point and lays them out per the kernel ABI.
+func buildLinearFixture(t *testing.T, n, dims, vlen int, seed int64) (dram []int32, query []int32, data []float32, q []float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data = make([]float32, n*dims)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	q = make([]float32, dims)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	shift := DeviceShift(dims)
+	padded := PadDims(dims, vlen)
+	dram = make([]int32, n*padded)
+	for i := 0; i < n; i++ {
+		qv := QuantizeDevice(data[i*dims:(i+1)*dims], shift)
+		copy(dram[i*padded:], qv)
+	}
+	query = make([]int32, padded)
+	copy(query, QuantizeDevice(q, shift))
+	return dram, query, data, q
+}
+
+func runKernel(t *testing.T, src string, dram, query []int32, vlen int) *PU {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble kernel: %v", err)
+	}
+	p := New(DefaultConfig(vlen), dram)
+	if err := p.WriteScratch(0, query); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(prog); err != nil {
+		t.Fatalf("run kernel: %v", err)
+	}
+	return p
+}
+
+func hostTopK(data []float32, dims, k int, q []float32, metric vec.Metric) []topk.Result {
+	sel := topk.New(k)
+	for i := 0; i < len(data)/dims; i++ {
+		sel.Push(i, vec.Distance(metric, q, data[i*dims:(i+1)*dims]))
+	}
+	return sel.Results()
+}
+
+func idSet(rs []topk.Result) map[int]bool {
+	m := make(map[int]bool, len(rs))
+	for _, r := range rs {
+		m[r.ID] = true
+	}
+	return m
+}
+
+func overlap(a, b []topk.Result) int {
+	bs := idSet(b)
+	n := 0
+	for _, r := range a {
+		if bs[r.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEuclideanKernelMatchesHost(t *testing.T) {
+	for _, vlen := range []int{2, 4, 8, 16} {
+		n, dims := 150, 25 // dims deliberately not a multiple of vlen
+		dram, query, data, q := buildLinearFixture(t, n, dims, vlen, int64(vlen))
+		src := EuclideanKernel(dims, n, vlen)
+		p := runKernel(t, src, dram, query, vlen)
+		got := p.Results()[:10]
+		want := hostTopK(data, dims, 10, q, vec.Euclidean)
+		if ov := overlap(got, want); ov < 9 {
+			t.Errorf("VL=%d: device/host top-10 overlap = %d/10", vlen, ov)
+		}
+		// The very nearest neighbor must agree.
+		if got[0].ID != want[0].ID {
+			t.Errorf("VL=%d: nearest id %d, host says %d", vlen, got[0].ID, want[0].ID)
+		}
+	}
+}
+
+func TestManhattanKernelMatchesHost(t *testing.T) {
+	n, dims, vlen := 150, 30, 4
+	dram, query, data, q := buildLinearFixture(t, n, dims, vlen, 99)
+	p := runKernel(t, ManhattanKernel(dims, n, vlen), dram, query, vlen)
+	got := p.Results()[:10]
+	want := hostTopK(data, dims, 10, q, vec.Manhattan)
+	if ov := overlap(got, want); ov < 9 {
+		t.Errorf("manhattan overlap = %d/10", ov)
+	}
+}
+
+func TestCosineKernelMatchesHost(t *testing.T) {
+	n, dims, vlen := 150, 32, 4
+	dram, query, data, q := buildLinearFixture(t, n, dims, vlen, 123)
+	p := runKernel(t, CosineKernel(dims, n, vlen), dram, query, vlen)
+	got := p.Results()[:10]
+	want := hostTopK(data, dims, 10, q, vec.Cosine)
+	// The device fixup is reduced precision; expect clear majority
+	// agreement on the top-10.
+	if ov := overlap(got, want); ov < 6 {
+		t.Errorf("cosine overlap = %d/10", ov)
+	}
+}
+
+func TestHammingKernelMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, bitDim, vlen := 200, 96, 4
+	words := HammingWords(bitDim)
+	padded := PadDims(words, vlen)
+	codes := make([]vec.Binary, n)
+	dram := make([]int32, n*padded)
+	for i := range codes {
+		b := vec.NewBinary(bitDim)
+		for j := 0; j < bitDim; j++ {
+			b.Set(j, rng.Intn(2) == 1)
+		}
+		codes[i] = b
+		for w := 0; w < words; w++ {
+			word := b.Words[w/2]
+			if w%2 == 1 {
+				word >>= 32
+			}
+			dram[i*padded+w] = int32(uint32(word))
+		}
+	}
+	qb := codes[13]
+	query := make([]int32, padded)
+	for w := 0; w < words; w++ {
+		word := qb.Words[w/2]
+		if w%2 == 1 {
+			word >>= 32
+		}
+		query[w] = int32(uint32(word))
+	}
+
+	p := runKernel(t, HammingKernel(words, n, vlen), dram, query, vlen)
+	got := p.Results()
+	if got[0].ID != 13 || got[0].Dist != 0 {
+		t.Fatalf("self-query nearest = %+v", got[0])
+	}
+	// Cross-check all distances against the host Hamming engine.
+	sel := topk.New(16)
+	for i, c := range codes {
+		sel.Push(i, float64(vec.Hamming(qb, c)))
+	}
+	want := sel.Results()
+	for i := range got {
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("distance %d: device %v, host %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestKernelCycleScaling(t *testing.T) {
+	// Wider vector units should take fewer cycles for the same scan.
+	n, dims := 100, 64
+	var prev uint64
+	for i, vlen := range []int{2, 4, 8, 16} {
+		dram, query, _, _ := buildLinearFixture(t, n, dims, vlen, 5)
+		p := runKernel(t, EuclideanKernel(dims, n, vlen), dram, query, vlen)
+		c := p.Stats().Cycles
+		if i > 0 && c >= prev {
+			t.Errorf("VL=%d (%d cycles) not faster than previous width (%d)", vlen, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestDeviceShift(t *testing.T) {
+	cases := []struct{ dim, min, max int }{
+		{100, 7, 9},
+		{960, 6, 7},
+		{4096, 4, 6},
+		{2, 11, 12},
+	}
+	for _, c := range cases {
+		f := DeviceShift(c.dim)
+		if f < c.min || f > c.max {
+			t.Errorf("DeviceShift(%d) = %d, want in [%d,%d]", c.dim, f, c.min, c.max)
+		}
+	}
+}
+
+func TestQuantizeDeviceSaturates(t *testing.T) {
+	out := QuantizeDevice([]float32{1e30, -1e30, 1}, 10)
+	if out[0] != 2147483647 || out[1] != -2147483648 || out[2] != 1024 {
+		t.Fatalf("QuantizeDevice = %v", out)
+	}
+}
+
+func TestPadDims(t *testing.T) {
+	if PadDims(100, 8) != 104 || PadDims(96, 8) != 96 || PadDims(1, 16) != 16 {
+		t.Fatal("PadDims wrong")
+	}
+	if HammingWords(96) != 3 || HammingWords(97) != 4 {
+		t.Fatal("HammingWords wrong")
+	}
+}

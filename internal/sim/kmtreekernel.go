@@ -1,0 +1,338 @@
+package sim
+
+// Hierarchical k-means tree kernel: the third index of the paper's
+// characterization running on the device. Interior nodes live in the
+// scratchpad; their cluster centroids live in device memory (Section
+// III-D: large index payloads such as "centroids in hierarchical
+// k-means are stored in SSAM memory"). Traversal evaluates every
+// child's centroid distance on the vector unit, descends the closest
+// child, pushes the others on the hardware stack, and scans leaf
+// buckets (contiguous DRAM ranges in tree order) until a bounded
+// number of vectors has been scored.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KMNodeWords returns the scratchpad footprint of one serialized
+// k-means node for branching b:
+// [isLeaf, leafStart, leafEnd, childCount, child0..child_{b-1}].
+func KMNodeWords(branching int) int { return 4 + branching }
+
+// KMTreeLayout describes the traversal kernel's memory ABI: query at
+// scratch [0, Padded), nodes at scratch TreeBase; rows at DRAM [0,
+// N*Padded), centroids (one per node) at DRAM CentBase.
+type KMTreeLayout struct {
+	Padded    int
+	TreeBase  int
+	MaxNodes  int
+	Branching int
+	CentBase  int // DRAM word offset of the centroid array
+}
+
+// NewKMTreeLayout computes the layout.
+func NewKMTreeLayout(dims, vlen, scratchWords, branching, n int) KMTreeLayout {
+	padded := PadDims(dims, vlen)
+	return KMTreeLayout{
+		Padded:    padded,
+		TreeBase:  padded,
+		MaxNodes:  (scratchWords - padded) / KMNodeWords(branching),
+		Branching: branching,
+		CentBase:  n * padded,
+	}
+}
+
+// KMTreeKernel emits the traversal kernel with the scan budget baked
+// in. The kernel inserts (treeOrderRow, distance) pairs into the
+// priority queue.
+func KMTreeKernel(dims, vlen, checks int, lay KMTreeLayout) string {
+	padded := lay.Padded
+	chunks := padded / vlen
+	nodeWords := KMNodeWords(lay.Branching)
+	var w kernelWriter
+	w.line("; k-means tree kernel: dims=%d (padded %d), VL=%d, checks=%d, B=%d",
+		dims, padded, vlen, checks, lay.Branching)
+	w.line("\tXOR s0, s0, s0")
+	w.line("\tXOR s2, s2, s2            ; scanned")
+	w.line("\tADDI s3, s0, %d           ; check budget", checks)
+	w.line("\tXOR s14, s14, s14         ; stack depth")
+	w.line("\tXOR s1, s1, s1            ; node = root")
+
+	w.line("descend:")
+	w.line("\tMULTI s10, s1, %d", nodeWords)
+	w.line("\tADDI s10, s10, %d         ; node address", lay.TreeBase)
+	w.line("\tLOAD s11, s10, 0          ; isLeaf")
+	w.line("\tBGT s11, s0, leaf")
+	w.line("\tLOAD s22, s10, 3          ; child count")
+	w.line("\tXOR s21, s21, s21         ; child index")
+	w.line("\tADDI s24, s0, 2147483647  ; best child distance")
+	w.line("\tXOR s23, s23, s23         ; best child node")
+	w.line("childloop:")
+	w.line("\tADDI s18, s10, 4")
+	w.line("\tADD s18, s18, s21")
+	w.line("\tLOAD s18, s18, 0          ; child node id")
+	w.line("\tMULTI s25, s18, %d", padded)
+	w.line("\tADDI s25, s25, %d         ; centroid address", DRAMBase+lay.CentBase)
+	w.line("\tMEM_FETCH s25, %d", padded)
+	w.line("\tVXOR v3, v3, v3")
+	w.line("\tXOR s4, s4, s4")
+	w.line("\tADDI s5, s0, %d", chunks)
+	w.line("\tXOR s6, s6, s6")
+	w.line("cinner:")
+	w.line("\tVLOAD v0, s6, 0")
+	w.line("\tVLOAD v1, s25, 0")
+	w.line("\tVSUB v2, v0, v1")
+	w.line("\tVMULT v2, v2, v2")
+	w.line("\tVADD v3, v3, v2")
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s25, s25, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, cinner")
+	w.reduce("v3", "s7", vlen)
+	w.line("\tBLT s7, s24, newbest")
+	w.line("\tPUSH s18                  ; defer farther child")
+	w.line("\tADDI s14, s14, 1")
+	w.line("\tJ childnext")
+	w.line("newbest:")
+	w.line("\tBE s21, s0, firstbest")
+	w.line("\tPUSH s23                  ; defer previous best")
+	w.line("\tADDI s14, s14, 1")
+	w.line("firstbest:")
+	w.line("\tADD s24, s7, s0")
+	w.line("\tADD s23, s18, s0")
+	w.line("childnext:")
+	w.line("\tADDI s21, s21, 1")
+	w.line("\tBLT s21, s22, childloop")
+	w.line("\tADD s1, s23, s0")
+	w.line("\tJ descend")
+
+	w.line("leaf:")
+	w.line("\tLOAD s15, s10, 1          ; bucket start row")
+	w.line("\tLOAD s16, s10, 2          ; bucket end row")
+	w.line("\tADD s19, s15, s0")
+	w.line("rowloop:")
+	w.line("\tBLT s19, s16, dorow")
+	w.line("\tJ backtrack")
+	w.line("dorow:")
+	w.line("\tMULTI s17, s19, %d", padded)
+	w.line("\tADDI s17, s17, %d", DRAMBase)
+	w.line("\tMEM_FETCH s17, %d", padded)
+	w.line("\tVXOR v3, v3, v3")
+	w.line("\tXOR s4, s4, s4")
+	w.line("\tADDI s5, s0, %d", chunks)
+	w.line("\tXOR s6, s6, s6")
+	w.line("linner:")
+	w.line("\tVLOAD v0, s6, 0")
+	w.line("\tVLOAD v1, s17, 0")
+	w.line("\tVSUB v2, v0, v1")
+	w.line("\tVMULT v2, v2, v2")
+	w.line("\tVADD v3, v3, v2")
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s17, s17, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, linner")
+	w.reduce("v3", "s7", vlen)
+	w.line("\tPQUEUE_INSERT s19, s7")
+	w.line("\tADDI s2, s2, 1")
+	w.line("\tADDI s19, s19, 1")
+	w.line("\tJ rowloop")
+
+	w.line("backtrack:")
+	w.line("\tBLT s2, s3, budget_ok")
+	w.line("\tJ done")
+	w.line("budget_ok:")
+	w.line("\tBGT s14, s0, popnext")
+	w.line("\tJ done")
+	w.line("popnext:")
+	w.line("\tPOP s1")
+	w.line("\tSUBI s14, s14, 1")
+	w.line("\tJ descend")
+	w.line("done:")
+	w.line("\tHALT")
+	return w.b.String()
+}
+
+// SerializedKMTree is a host-built hierarchical k-means tree in the
+// kernel's format.
+type SerializedKMTree struct {
+	Words []int32 // KMNodeWords(branching) per node
+	Cents []int32 // numNodes centroids, padded words each
+	Order []int32 // tree-order row -> original slice-local row
+	Depth int
+	Nodes int
+}
+
+// BuildSerializedKMTree clusters n fixed-point rows recursively with
+// the given branching factor and serializes nodes, centroids and the
+// leaf-contiguous row order.
+func BuildSerializedKMTree(data []int32, n, dims, padded, branching, leafSize, maxNodes int, seed int64) (*SerializedKMTree, error) {
+	if branching < 2 {
+		branching = 2
+	}
+	if leafSize < 1 {
+		leafSize = 16
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	b := &kmTreeBuilder{
+		data: data, dims: dims, padded: padded,
+		branching: branching, leafSize: leafSize, maxNodes: maxNodes,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	if _, err := b.build(rows, 0, 1); err != nil {
+		return nil, err
+	}
+	return &SerializedKMTree{
+		Words: b.words, Cents: b.cents, Order: b.order,
+		Depth: b.depth, Nodes: len(b.cents) / padded,
+	}, nil
+}
+
+type kmTreeBuilder struct {
+	data      []int32
+	dims      int
+	padded    int
+	branching int
+	leafSize  int
+	maxNodes  int
+	rng       *rand.Rand
+	words     []int32
+	cents     []int32
+	order     []int32
+	depth     int
+}
+
+func (b *kmTreeBuilder) row(r int32) []int32 {
+	return b.data[int(r)*b.padded : int(r)*b.padded+b.dims]
+}
+
+func (b *kmTreeBuilder) nodeWords() int { return KMNodeWords(b.branching) }
+
+// build serializes the subtree over rows and returns its node id.
+func (b *kmTreeBuilder) build(rows []int32, start, depth int) (int32, error) {
+	if len(b.words)/b.nodeWords() >= b.maxNodes {
+		return 0, fmt.Errorf("sim: k-means tree exceeds scratchpad budget of %d nodes", b.maxNodes)
+	}
+	if depth > b.depth {
+		b.depth = depth
+	}
+	idx := int32(len(b.words) / b.nodeWords())
+	b.words = append(b.words, make([]int32, b.nodeWords())...)
+	b.appendCentroid(rows)
+
+	if len(rows) <= b.leafSize {
+		b.setLeaf(idx, rows, start)
+		return idx, nil
+	}
+	groups := b.cluster(rows)
+	if len(groups) < 2 {
+		b.setLeaf(idx, rows, start)
+		return idx, nil
+	}
+	children := make([]int32, 0, len(groups))
+	off := start
+	for _, g := range groups {
+		c, err := b.build(g, off, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		children = append(children, c)
+		off += len(g)
+	}
+	base := int(idx) * b.nodeWords()
+	b.words[base+0] = 0
+	b.words[base+3] = int32(len(children))
+	for i, c := range children {
+		b.words[base+4+i] = c
+	}
+	return idx, nil
+}
+
+func (b *kmTreeBuilder) setLeaf(idx int32, rows []int32, start int) {
+	base := int(idx) * b.nodeWords()
+	b.words[base+0] = 1
+	b.words[base+1] = int32(start)
+	b.words[base+2] = int32(start + len(rows))
+	b.order = append(b.order, rows...)
+}
+
+// appendCentroid records the integer mean of rows, padded.
+func (b *kmTreeBuilder) appendCentroid(rows []int32) {
+	cent := make([]int64, b.dims)
+	for _, r := range rows {
+		for d, v := range b.row(r) {
+			cent[d] += int64(v)
+		}
+	}
+	out := make([]int32, b.padded)
+	for d := range cent {
+		out[d] = int32(cent[d] / int64(len(rows)))
+	}
+	b.cents = append(b.cents, out...)
+}
+
+// cluster partitions rows into up to branching groups with a short
+// integer Lloyd run; degenerate splits collapse to fewer groups.
+func (b *kmTreeBuilder) cluster(rows []int32) [][]int32 {
+	k := b.branching
+	if k > len(rows) {
+		k = len(rows)
+	}
+	perm := b.rng.Perm(len(rows))
+	centers := make([][]int32, k)
+	for c := 0; c < k; c++ {
+		centers[c] = append([]int32(nil), b.row(rows[perm[c]])...)
+	}
+	assign := make([]int, len(rows))
+	for iter := 0; iter < 3; iter++ {
+		for i, r := range rows {
+			best, bestD := 0, int64(1)<<62
+			for c := 0; c < k; c++ {
+				var acc int64
+				rr := b.row(r)
+				for d := range rr {
+					df := int64(rr[d]) - int64(centers[c][d])
+					acc += df * df
+				}
+				if acc < bestD {
+					best, bestD = c, acc
+				}
+			}
+			assign[i] = best
+		}
+		sums := make([][]int64, k)
+		counts := make([]int64, k)
+		for c := range sums {
+			sums[c] = make([]int64, b.dims)
+		}
+		for i, r := range rows {
+			c := assign[i]
+			counts[c]++
+			for d, v := range b.row(r) {
+				sums[c][d] += int64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := range centers[c] {
+				centers[c][d] = int32(sums[c][d] / counts[c])
+			}
+		}
+	}
+	groups := make([][]int32, k)
+	for i, r := range rows {
+		groups[assign[i]] = append(groups[assign[i]], r)
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package sim
+
+// Hyperplane LSH kernel. Section III-D: "Any large data structures
+// such as hash function weights in MPLSH ... are stored in SSAM memory
+// since they are larger and experience limited reuse." The kernel
+// hashes the scratchpad-resident query against DRAM-resident
+// hyperplanes with the vector unit, looks up the matching bucket of
+// each table, and scans the bucket's rows through the distance
+// pipeline (rows are reached indirectly through per-table entry
+// lists, since only one table's buckets can be contiguous).
+//
+// This is single-probe per table; the multi-probe perturbation
+// sequence of full MPLSH is a host-side concern in this codebase (the
+// host can issue one kernel run per probe).
+
+import "fmt"
+
+// LSHLayout describes the per-PU DRAM image the kernel expects, as
+// word offsets from DRAMBase:
+//
+//	[0, N*Padded)              database rows (original order)
+//	[Planes, ...)              Tables*Bits hyperplanes, Padded words each
+//	[Offsets, ...)             per table: 2^Bits+1 bucket offsets
+//	[Entries, ...)             per table: N row indices grouped by bucket
+type LSHLayout struct {
+	N       int
+	Padded  int
+	Tables  int
+	Bits    int
+	Planes  int
+	Offsets int
+	Entries int
+	Total   int // total words
+}
+
+// NewLSHLayout computes the layout.
+func NewLSHLayout(n, padded, tables, bits int) LSHLayout {
+	l := LSHLayout{N: n, Padded: padded, Tables: tables, Bits: bits}
+	l.Planes = n * padded
+	l.Offsets = l.Planes + tables*bits*padded
+	l.Entries = l.Offsets + tables*((1<<bits)+1)
+	l.Total = l.Entries + tables*n
+	return l
+}
+
+// LSHKernel emits the hash-and-scan kernel for the layout with one
+// probe per table (the query's own bucket). The kernel inserts
+// (rowIndex, distance) pairs into the priority queue; rows scanned by
+// several tables are inserted more than once and the host
+// deduplicates.
+func LSHKernel(dims, vlen int, lay LSHLayout) string {
+	return lshKernel(dims, vlen, lay, false)
+}
+
+// MPLSHKernel is LSHKernel with static multi-probing: after the base
+// bucket, the kernel also scans every single-bit perturbation of the
+// hash code ("MPLSH applies small perturbations to the hash result to
+// create additional probes into the same hash table"), Bits extra
+// probes per table. Unlike the margin-ordered probe sequence of full
+// multi-probe LSH, the flips are static, which keeps the probe
+// schedule query-independent and entirely on-device.
+func MPLSHKernel(dims, vlen int, lay LSHLayout) string {
+	return lshKernel(dims, vlen, lay, true)
+}
+
+func lshKernel(dims, vlen int, lay LSHLayout, multiProbe bool) string {
+	padded := lay.Padded
+	if padded != PadDims(dims, vlen) {
+		panic(fmt.Sprintf("sim: layout padded %d != %d", padded, PadDims(dims, vlen)))
+	}
+	chunks := padded / vlen
+	var w kernelWriter
+	w.line("; hyperplane LSH kernel: dims=%d (padded %d), VL=%d, tables=%d, bits=%d",
+		dims, padded, vlen, lay.Tables, lay.Bits)
+	w.line("\tXOR s0, s0, s0")
+	w.line("\tXOR s1, s1, s1            ; table")
+	w.line("\tADDI s2, s0, %d           ; tables", lay.Tables)
+	w.line("tloop:")
+	w.line("\tMULTI s3, s1, %d", lay.Bits*padded)
+	w.line("\tADDI s3, s3, %d           ; plane cursor", DRAMBase+lay.Planes)
+	w.line("\tXOR s8, s8, s8            ; hash code")
+	for b := 0; b < lay.Bits; b++ {
+		w.line("\tMEM_FETCH s3, %d", padded)
+		w.line("\tVXOR v3, v3, v3")
+		w.line("\tXOR s4, s4, s4")
+		w.line("\tADDI s5, s0, %d", chunks)
+		w.line("\tXOR s6, s6, s6")
+		w.line("hinner%d:", b)
+		w.line("\tVLOAD v0, s6, 0           ; query chunk")
+		w.line("\tVLOAD v1, s3, 0           ; hyperplane chunk (DRAM)")
+		w.line("\tVMULT v2, v0, v1")
+		w.line("\tVADD v3, v3, v2")
+		w.line("\tADDI s6, s6, %d", vlen)
+		w.line("\tADDI s3, s3, %d", vlen)
+		w.line("\tADDI s4, s4, 1")
+		w.line("\tBLT s4, s5, hinner%d", b)
+		w.reduce("v3", "s7", vlen)
+		w.line("\tBLT s7, s0, hskip%d", b)
+		w.line("\tORI s8, s8, %d", int32(1)<<uint(b))
+		w.line("hskip%d:", b)
+	}
+	// Bucket bounds bases for this table.
+	w.line("\tMULTI s11, s1, %d", (1<<lay.Bits)+1)
+	w.line("\tADDI s11, s11, %d         ; offsets base", DRAMBase+lay.Offsets)
+	w.line("\tMULTI s14, s1, %d", lay.N)
+	w.line("\tADDI s14, s14, %d         ; entries base", DRAMBase+lay.Entries)
+
+	// Probe schedule: the base code, plus (with multiProbe) each
+	// single-bit flip of it.
+	w.line("\tADD s20, s8, s0           ; probe 0 = base code")
+	emitBucketScan(&w, "p0", padded, chunks, vlen)
+	if multiProbe {
+		for b := 0; b < lay.Bits; b++ {
+			w.line("\tXORI s20, s8, %d          ; flip bit %d", int32(1)<<uint(b), b)
+			emitBucketScan(&w, fmt.Sprintf("p%d", b+1), padded, chunks, vlen)
+		}
+	}
+	w.line("\tADDI s1, s1, 1")
+	w.line("\tBLT s1, s2, tloop")
+	w.line("\tHALT")
+	return w.b.String()
+}
+
+// emitBucketScan emits a scan of bucket s20 of the current table
+// (offsets base s11, entries base s14), unique labels suffixed by tag.
+func emitBucketScan(w *kernelWriter, tag string, padded, chunks, vlen int) {
+	w.line("\tADD s18, s11, s20")
+	w.line("\tLOAD s12, s18, 0          ; bucket start")
+	w.line("\tLOAD s13, s18, 1          ; bucket end")
+	w.line("\tADD s15, s14, s12         ; entry cursor")
+	w.line("\tADD s16, s14, s13         ; entry end")
+	w.line("eloop%s:", tag)
+	w.line("\tBLT s15, s16, edo%s", tag)
+	w.line("\tJ enext%s", tag)
+	w.line("edo%s:", tag)
+	w.line("\tLOAD s19, s15, 0          ; row index")
+	w.line("\tMULTI s17, s19, %d", padded)
+	w.line("\tADDI s17, s17, %d", DRAMBase)
+	w.line("\tMEM_FETCH s17, %d", padded)
+	w.line("\tVXOR v3, v3, v3")
+	w.line("\tXOR s4, s4, s4")
+	w.line("\tADDI s5, s0, %d", chunks)
+	w.line("\tXOR s6, s6, s6")
+	w.line("einner%s:", tag)
+	w.line("\tVLOAD v0, s6, 0")
+	w.line("\tVLOAD v1, s17, 0")
+	w.line("\tVSUB v2, v0, v1")
+	w.line("\tVMULT v2, v2, v2")
+	w.line("\tVADD v3, v3, v2")
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s17, s17, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, einner%s", tag)
+	w.reduce("v3", "s7", vlen)
+	w.line("\tPQUEUE_INSERT s19, s7")
+	w.line("\tADDI s15, s15, 1")
+	w.line("\tJ eloop%s", tag)
+	w.line("enext%s:", tag)
+}

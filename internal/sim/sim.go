@@ -1,0 +1,490 @@
+// Package sim is the cycle-level functional simulator for one SSAM
+// processing unit (Section III-C): a single-issue, in-order,
+// fully-integrated scalar/vector core with 32 scalar registers, 8
+// vector registers of configurable length (2/4/8/16 lanes of 32 bits),
+// a 32 KB scratchpad, a hardware stack unit, a 16-entry (chainable)
+// shift-register priority queue, and a MEM_FETCH stream prefetcher.
+//
+// Timing model: one instruction issues per cycle; vector operations
+// complete in one issue slot (the vector ALU is VectorLen lanes wide
+// and chaining forwards results between pipeline stages, per the
+// paper). Memory operations to the scratchpad cost one cycle; accesses
+// to the PU's DRAM shard are charged against the PU's share of its
+// vault-controller bandwidth, plus an access latency when the touched
+// words were not covered by a MEM_FETCH prefetch window. This matches
+// the paper's design point, where kNN kernels stream large contiguous
+// blocks and the accelerator is provisioned so compute keeps up with
+// the vault bandwidth.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"ssam/internal/isa"
+	"ssam/internal/topk"
+)
+
+// DRAMBase is the word address where the PU's DRAM shard is mapped.
+// Addresses below ScratchWords hit the scratchpad.
+const DRAMBase = 0x0100_0000
+
+// Config sets a processing unit's microarchitectural parameters.
+type Config struct {
+	// VectorLen is the vector register length in 32-bit lanes; the
+	// paper sweeps 2, 4, 8, 16.
+	VectorLen int
+	// ClockHz is the post-place-and-route clock (1 GHz nominal).
+	ClockHz float64
+	// ScratchWords is scratchpad capacity in 32-bit words (32 KB = 8192).
+	ScratchWords int
+	// QueueDepth is the priority-queue depth; multiples of 16 model
+	// chained stages for larger k.
+	QueueDepth int
+	// MemBytesPerCycle is this PU's share of vault bandwidth, in bytes
+	// per clock cycle.
+	MemBytesPerCycle float64
+	// MemLatencyCycles is charged on DRAM accesses outside the current
+	// prefetch window.
+	MemLatencyCycles uint64
+	// SoftwareQueue replaces the hardware priority queue's single-cycle
+	// insert with the modeled cost of a software insert (the Section
+	// V-B ablation).
+	SoftwareQueue bool
+	// StackDepth is the hardware stack capacity.
+	StackDepth int
+	// MaxCycles aborts runaway programs.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's nominal PU at the given vector
+// length: 1 GHz, 32 KB scratchpad, 16-entry queue, a full 10 GB/s
+// vault share (10 bytes/cycle), and 40-cycle uncovered DRAM latency.
+func DefaultConfig(vlen int) Config {
+	return Config{
+		VectorLen:        vlen,
+		ClockHz:          1e9,
+		ScratchWords:     8192,
+		QueueDepth:       16,
+		MemBytesPerCycle: 10,
+		MemLatencyCycles: 40,
+		StackDepth:       64,
+		MaxCycles:        4e9,
+	}
+}
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Cycles        uint64 // total cycles including stalls
+	Instructions  uint64
+	VectorInsts   uint64
+	ScalarInsts   uint64
+	MemStall      uint64 // cycles lost to bandwidth and latency
+	DRAMBytesRead uint64
+	PQInserts     uint64
+	// OpCounts is the per-opcode retirement histogram — the
+	// simulator's native version of the paper's Pin instruction-mix
+	// methodology.
+	OpCounts [isa.NumOps]uint64
+}
+
+// MemoryReadPct returns the percentage of retired instructions that
+// read memory (LOAD plus prefetches do the reading here; scratchpad
+// and DRAM are not distinguished).
+func (s Stats) MemoryReadPct() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(s.OpCounts[isa.LOAD]) / float64(s.Instructions)
+}
+
+// VectorPct returns the percentage of retired instructions that were
+// vector-form.
+func (s Stats) VectorPct() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(s.VectorInsts) / float64(s.Instructions)
+}
+
+// Seconds converts cycles to wall-clock time at the configured clock.
+func (s Stats) Seconds(clockHz float64) float64 {
+	return float64(s.Cycles) / clockHz
+}
+
+// PU is one processing unit instance.
+type PU struct {
+	cfg     Config
+	S       [isa.NumScalarRegs]int32
+	V       [isa.NumVectorRegs][]int32
+	scratch []int32
+	dram    []int32
+	Queue   *topk.ShiftRegisterQueue
+	stack   []int32
+	stats   Stats
+
+	prefetchLo, prefetchHi int64 // word-address window set by MEM_FETCH
+
+	// Trace, when non-nil, receives one line per retired instruction:
+	// "cycle pc instruction". Tracing is for kernel bring-up and slows
+	// simulation substantially.
+	Trace io.Writer
+}
+
+// New creates a PU over the given DRAM shard (word-addressed at
+// DRAMBase). The shard is shared, not copied.
+func New(cfg Config, dram []int32) *PU {
+	if cfg.VectorLen <= 0 {
+		panic("sim: VectorLen must be positive")
+	}
+	if cfg.ScratchWords <= 0 {
+		cfg.ScratchWords = 8192
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.StackDepth <= 0 {
+		cfg.StackDepth = 64
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 4e9
+	}
+	if cfg.MemBytesPerCycle <= 0 {
+		cfg.MemBytesPerCycle = 10
+	}
+	p := &PU{
+		cfg:     cfg,
+		scratch: make([]int32, cfg.ScratchWords),
+		dram:    dram,
+		Queue:   topk.NewShiftRegisterQueue(cfg.QueueDepth),
+		stack:   make([]int32, 0, cfg.StackDepth),
+	}
+	for i := range p.V {
+		p.V[i] = make([]int32, cfg.VectorLen)
+	}
+	return p
+}
+
+// Config returns the PU's configuration.
+func (p *PU) Config() Config { return p.cfg }
+
+// Stats returns cumulative execution counters.
+func (p *PU) Stats() Stats { return p.stats }
+
+// WriteScratch copies words into the scratchpad at the given word
+// offset (how the device writes the query vector before a kernel run).
+func (p *PU) WriteScratch(offset int, words []int32) error {
+	if offset < 0 || offset+len(words) > len(p.scratch) {
+		return fmt.Errorf("sim: scratchpad write [%d,%d) out of range", offset, offset+len(words))
+	}
+	copy(p.scratch[offset:], words)
+	return nil
+}
+
+// ReadScratch copies n words out of the scratchpad starting at the
+// given word offset (how the device reads back accumulator regions
+// left by index-construction kernels).
+func (p *PU) ReadScratch(offset, n int) ([]int32, error) {
+	if offset < 0 || n < 0 || offset+n > len(p.scratch) {
+		return nil, fmt.Errorf("sim: scratchpad read [%d,%d) out of range", offset, offset+n)
+	}
+	out := make([]int32, n)
+	copy(out, p.scratch[offset:offset+n])
+	return out, nil
+}
+
+// ReadDRAM copies n words from the PU's DRAM shard starting at the
+// given shard-local word offset.
+func (p *PU) ReadDRAM(offset, n int) ([]int32, error) {
+	if offset < 0 || n < 0 || offset+n > len(p.dram) {
+		return nil, fmt.Errorf("sim: dram read [%d,%d) out of range", offset, offset+n)
+	}
+	out := make([]int32, n)
+	copy(out, p.dram[offset:offset+n])
+	return out, nil
+}
+
+// ResetForQuery clears architectural state between kernel runs but
+// keeps the scratchpad (holding index structures) and cumulative
+// stats.
+func (p *PU) ResetForQuery() {
+	p.S = [isa.NumScalarRegs]int32{}
+	for i := range p.V {
+		for l := range p.V[i] {
+			p.V[i][l] = 0
+		}
+	}
+	p.stack = p.stack[:0]
+	p.Queue = topk.NewShiftRegisterQueue(p.cfg.QueueDepth)
+	p.prefetchLo, p.prefetchHi = 0, 0
+}
+
+// Results drains the priority queue as (id, distance) pairs.
+func (p *PU) Results() []topk.Result { return p.Queue.Results() }
+
+// Run executes the program from pc 0 until HALT. It returns an error
+// on architectural faults (bad address, stack overflow, runaway).
+func (p *PU) Run(prog []isa.Inst) error {
+	start := p.stats.Cycles
+	pc := int32(0)
+	vl := p.cfg.VectorLen
+	for {
+		if p.stats.Cycles-start > p.cfg.MaxCycles {
+			return fmt.Errorf("sim: exceeded MaxCycles=%d", p.cfg.MaxCycles)
+		}
+		if pc < 0 || int(pc) >= len(prog) {
+			return fmt.Errorf("sim: pc %d out of program range [0,%d)", pc, len(prog))
+		}
+		in := prog[int(pc)]
+		if p.Trace != nil {
+			fmt.Fprintf(p.Trace, "%10d %5d  %s\n", p.stats.Cycles, pc, in)
+		}
+		pc++
+		p.stats.Cycles++
+		p.stats.Instructions++
+		p.stats.OpCounts[in.Op]++
+		if in.Vector {
+			p.stats.VectorInsts++
+		} else {
+			p.stats.ScalarInsts++
+		}
+
+		switch in.Op {
+		case isa.ADD, isa.SUB, isa.MULT, isa.OR, isa.AND, isa.XOR, isa.FXP:
+			if in.Vector {
+				d, a, b := p.V[in.Rd], p.V[in.Rs1], p.V[in.Rs2]
+				for l := 0; l < vl; l++ {
+					d[l] = scalarALU(in.Op, a[l], b[l], d[l])
+				}
+			} else {
+				p.S[in.Rd] = scalarALU(in.Op, p.S[in.Rs1], p.S[in.Rs2], p.S[in.Rd])
+			}
+		case isa.NOT:
+			if in.Vector {
+				for l := 0; l < vl; l++ {
+					p.V[in.Rd][l] = ^p.V[in.Rs1][l]
+				}
+			} else {
+				p.S[in.Rd] = ^p.S[in.Rs1]
+			}
+		case isa.POPCOUNT:
+			if in.Vector {
+				for l := 0; l < vl; l++ {
+					p.V[in.Rd][l] = int32(bits.OnesCount32(uint32(p.V[in.Rs1][l])))
+				}
+			} else {
+				p.S[in.Rd] = int32(bits.OnesCount32(uint32(p.S[in.Rs1])))
+			}
+		case isa.ADDI, isa.SUBI, isa.MULTI, isa.ANDI, isa.ORI, isa.XORI,
+			isa.SR, isa.SL, isa.SRA:
+			if in.Vector {
+				for l := 0; l < vl; l++ {
+					p.V[in.Rd][l] = scalarImmALU(in.Op, p.V[in.Rs1][l], in.Imm)
+				}
+			} else {
+				p.S[in.Rd] = scalarImmALU(in.Op, p.S[in.Rs1], in.Imm)
+			}
+		case isa.BNE:
+			if p.S[in.Rs1] != p.S[in.Rs2] {
+				pc = in.Imm
+			}
+		case isa.BGT:
+			if p.S[in.Rs1] > p.S[in.Rs2] {
+				pc = in.Imm
+			}
+		case isa.BLT:
+			if p.S[in.Rs1] < p.S[in.Rs2] {
+				pc = in.Imm
+			}
+		case isa.BE:
+			if p.S[in.Rs1] == p.S[in.Rs2] {
+				pc = in.Imm
+			}
+		case isa.J:
+			pc = in.Imm
+		case isa.PUSH:
+			if len(p.stack) >= p.cfg.StackDepth {
+				return fmt.Errorf("sim: stack overflow at pc %d", pc-1)
+			}
+			p.stack = append(p.stack, p.S[in.Rs1])
+		case isa.POP:
+			if len(p.stack) == 0 {
+				return fmt.Errorf("sim: stack underflow at pc %d", pc-1)
+			}
+			p.S[in.Rd] = p.stack[len(p.stack)-1]
+			p.stack = p.stack[:len(p.stack)-1]
+		case isa.SVMOVE: // vd[lane] = s; lane < 0 broadcasts
+			v := p.V[in.Rd]
+			s := p.S[in.Rs1]
+			if in.Imm < 0 {
+				for l := 0; l < vl; l++ {
+					v[l] = s
+				}
+			} else if int(in.Imm) < vl {
+				v[in.Imm] = s
+			} else {
+				return fmt.Errorf("sim: SVMOVE lane %d out of range at pc %d", in.Imm, pc-1)
+			}
+		case isa.VSMOVE: // s = vs[lane]
+			if int(in.Imm) >= vl || in.Imm < 0 {
+				return fmt.Errorf("sim: VSMOVE lane %d out of range at pc %d", in.Imm, pc-1)
+			}
+			p.S[in.Rd] = p.V[in.Rs1][in.Imm]
+		case isa.MEMFETCH:
+			addr := int64(p.S[in.Rs1])
+			p.prefetchLo, p.prefetchHi = addr, addr+int64(in.Imm)
+		case isa.LOAD:
+			addr := int64(p.S[in.Rs1]) + int64(in.Imm)
+			if in.Vector {
+				if err := p.loadWords(addr, p.V[in.Rd]); err != nil {
+					return fmt.Errorf("sim: pc %d: %w", pc-1, err)
+				}
+			} else {
+				var one [1]int32
+				if err := p.loadWords(addr, one[:]); err != nil {
+					return fmt.Errorf("sim: pc %d: %w", pc-1, err)
+				}
+				p.S[in.Rd] = one[0]
+			}
+		case isa.STORE:
+			addr := int64(p.S[in.Rs1]) + int64(in.Imm)
+			if in.Vector {
+				if err := p.storeWords(addr, p.V[in.Rd]); err != nil {
+					return fmt.Errorf("sim: pc %d: %w", pc-1, err)
+				}
+			} else {
+				if err := p.storeWords(addr, []int32{p.S[in.Rd]}); err != nil {
+					return fmt.Errorf("sim: pc %d: %w", pc-1, err)
+				}
+			}
+		case isa.PQUEUEINSERT:
+			p.stats.PQInserts++
+			id, val := p.S[in.Rs1], int64(p.S[in.Rs2])
+			if p.cfg.SoftwareQueue {
+				// Model a software insert: the hardware queue still
+				// tracks contents (for results), but the PU is charged
+				// the instruction cost of the equivalent software
+				// routine.
+				admitted := true
+				if p.Queue.Len() == p.Queue.Depth() {
+					if _, worst, ok := p.Queue.Load(p.Queue.Depth() - 1); ok && val >= worst {
+						admitted = false
+					}
+				}
+				cost := topk.SoftwareQueueInsertCost(p.Queue.Depth(), admitted)
+				p.stats.Cycles += uint64(cost - 1) // this issue slot counts as 1
+				p.stats.Instructions += uint64(cost - 1)
+				p.stats.ScalarInsts += uint64(cost - 1)
+			}
+			p.Queue.Insert(id, val)
+		case isa.PQUEUELOAD:
+			pos, field := int(in.Imm)>>1, in.Imm&1
+			id, val, ok := p.Queue.Load(pos)
+			if !ok {
+				p.S[in.Rd] = -1
+			} else if field == 0 {
+				p.S[in.Rd] = id
+			} else {
+				p.S[in.Rd] = int32(val)
+			}
+		case isa.PQUEUERESET:
+			p.Queue.Reset()
+		case isa.HALT:
+			return nil
+		default:
+			return fmt.Errorf("sim: unimplemented op %s at pc %d", in.Op, pc-1)
+		}
+	}
+}
+
+func scalarALU(op isa.Op, a, b, old int32) int32 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.MULT:
+		return a * b
+	case isa.OR:
+		return a | b
+	case isa.AND:
+		return a & b
+	case isa.XOR:
+		return a ^ b
+	case isa.FXP:
+		return old + int32(bits.OnesCount32(uint32(a^b)))
+	}
+	panic("sim: bad ALU op")
+}
+
+func scalarImmALU(op isa.Op, a, imm int32) int32 {
+	switch op {
+	case isa.ADDI:
+		return a + imm
+	case isa.SUBI:
+		return a - imm
+	case isa.MULTI:
+		return a * imm
+	case isa.ANDI:
+		return a & imm
+	case isa.ORI:
+		return a | imm
+	case isa.XORI:
+		return a ^ imm
+	case isa.SR:
+		return int32(uint32(a) >> (uint32(imm) & 31))
+	case isa.SL:
+		return a << (uint32(imm) & 31)
+	case isa.SRA:
+		return a >> (uint32(imm) & 31)
+	}
+	panic("sim: bad imm ALU op")
+}
+
+// loadWords reads len(dst) consecutive words starting at addr and
+// charges memory timing.
+func (p *PU) loadWords(addr int64, dst []int32) error {
+	n := int64(len(dst))
+	if addr >= 0 && addr+n <= int64(len(p.scratch)) {
+		copy(dst, p.scratch[addr:addr+n])
+		return nil // scratchpad: single-cycle, already charged
+	}
+	if addr >= DRAMBase && addr+n <= DRAMBase+int64(len(p.dram)) {
+		copy(dst, p.dram[addr-DRAMBase:addr-DRAMBase+n])
+		p.chargeDRAM(addr, n)
+		return nil
+	}
+	return fmt.Errorf("load [%d,%d) out of range", addr, addr+n)
+}
+
+func (p *PU) storeWords(addr int64, src []int32) error {
+	n := int64(len(src))
+	if addr >= 0 && addr+n <= int64(len(p.scratch)) {
+		copy(p.scratch[addr:addr+n], src)
+		return nil
+	}
+	if addr >= DRAMBase && addr+n <= DRAMBase+int64(len(p.dram)) {
+		copy(p.dram[addr-DRAMBase:addr-DRAMBase+n], src)
+		p.chargeDRAM(addr, n)
+		return nil
+	}
+	return fmt.Errorf("store [%d,%d) out of range", addr, addr+n)
+}
+
+// chargeDRAM applies the bandwidth (and, outside the prefetch window,
+// latency) cost of touching n words at addr.
+func (p *PU) chargeDRAM(addr, n int64) {
+	bytes := uint64(n) * 4
+	p.stats.DRAMBytesRead += bytes
+	bwCycles := uint64(float64(bytes) / p.cfg.MemBytesPerCycle)
+	if bwCycles > 0 {
+		// The issue cycle already counted one cycle of transfer.
+		p.stats.Cycles += bwCycles - 1
+		p.stats.MemStall += bwCycles - 1
+	}
+	if addr < p.prefetchLo || addr+n > p.prefetchHi {
+		p.stats.Cycles += p.cfg.MemLatencyCycles
+		p.stats.MemStall += p.cfg.MemLatencyCycles
+	}
+}

@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ssam/internal/asm"
+	"ssam/internal/isa"
+)
+
+func run(t *testing.T, src string, dram []int32) *PU {
+	t.Helper()
+	return runCfg(t, src, dram, DefaultConfig(4))
+}
+
+func runCfg(t *testing.T, src string, dram []int32, cfg Config) *PU {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	p := New(cfg, dram)
+	if err := p.Run(prog); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return p
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 7
+		ADDI s2, s0, 5
+		ADD  s3, s1, s2
+		SUB  s4, s1, s2
+		MULT s5, s1, s2
+		SUBI s6, s1, 10
+		MULTI s7, s1, -3
+		HALT
+	`, nil)
+	if p.S[3] != 12 || p.S[4] != 2 || p.S[5] != 35 || p.S[6] != -3 || p.S[7] != -21 {
+		t.Fatalf("regs: %v", p.S[:8])
+	}
+}
+
+func TestBitwiseAndShifts(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 0b1100
+		ADDI s2, s0, 0b1010
+		AND s3, s1, s2
+		OR  s4, s1, s2
+		XOR s5, s1, s2
+		NOT s6, s1
+		ANDI s7, s1, 4
+		ORI  s8, s1, 1
+		XORI s9, s1, 0b1111
+		SL  s10, s1, 2
+		SR  s11, s1, 2
+		ADDI s12, s0, -8
+		SRA s13, s12, 1
+		SR  s14, s12, 28
+		POPCOUNT s15, s1
+		HALT
+	`, nil)
+	want := map[int]int32{
+		3: 0b1000, 4: 0b1110, 5: 0b0110, 6: ^int32(12), 7: 4, 8: 13,
+		9: 0b0011, 10: 48, 11: 3, 13: -4, 14: 15, 15: 2,
+	}
+	for r, w := range want {
+		if p.S[r] != w {
+			t.Errorf("s%d = %d, want %d", r, p.S[r], w)
+		}
+	}
+}
+
+func TestBranches(t *testing.T) {
+	// Sum 1..10 with a loop.
+	p := run(t, `
+		ADDI s1, s0, 10
+		XOR  s2, s2, s2   ; i
+		XOR  s3, s3, s3   ; sum
+	loop:	ADDI s2, s2, 1
+		ADD  s3, s3, s2
+		BLT  s2, s1, loop
+		HALT
+	`, nil)
+	if p.S[3] != 55 {
+		t.Fatalf("sum = %d, want 55", p.S[3])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 3
+		ADDI s2, s0, 3
+		BE   s1, s2, eq
+		ADDI s9, s0, 111
+	eq:	BNE  s1, s2, bad
+		BGT  s1, s0, gt
+		ADDI s9, s0, 222
+	gt:	ADDI s3, s0, -1
+		BLT  s3, s0, done
+		ADDI s9, s0, 333
+	bad:	ADDI s9, s0, 444
+	done:	HALT
+	`, nil)
+	if p.S[9] != 0 {
+		t.Fatalf("s9 = %d, some branch misfired", p.S[9])
+	}
+}
+
+func TestStackUnit(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 42
+		ADDI s2, s0, 43
+		PUSH s1
+		PUSH s2
+		POP  s3
+		POP  s4
+		HALT
+	`, nil)
+	if p.S[3] != 43 || p.S[4] != 42 {
+		t.Fatalf("stack order wrong: s3=%d s4=%d", p.S[3], p.S[4])
+	}
+}
+
+func TestStackOverflowUnderflow(t *testing.T) {
+	prog, _ := asm.Assemble("POP s1\nHALT")
+	p := New(DefaultConfig(2), nil)
+	if err := p.Run(prog); err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Fatalf("err = %v, want underflow", err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.StackDepth = 2
+	prog2, _ := asm.Assemble("PUSH s0\nPUSH s0\nPUSH s0\nHALT")
+	p2 := New(cfg, nil)
+	if err := p2.Run(prog2); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("err = %v, want overflow", err)
+	}
+}
+
+func TestVectorOpsAndMoves(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 3
+		SVMOVE v0, s1, -1     ; broadcast 3
+		ADDI s2, s0, 10
+		SVMOVE v1, s2, 0      ; lane 0 = 10
+		VADD v2, v0, v1
+		VSMOVE s3, v2, 0      ; 13
+		VSMOVE s4, v2, 1      ; 3
+		VMULT v3, v0, v0
+		VSMOVE s5, v3, 3      ; 9
+		HALT
+	`, nil)
+	if p.S[3] != 13 || p.S[4] != 3 || p.S[5] != 9 {
+		t.Fatalf("vector results: %v", p.S[:6])
+	}
+}
+
+func TestScratchpadLoadStore(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 99
+		STORE s1, s0, 40      ; scratch[40] = 99
+		LOAD  s2, s0, 40
+		ADDI s3, s0, 100
+		SVMOVE v0, s1, -1
+		VSTORE v0, s3, 0      ; scratch[100..104) = 99
+		VLOAD  v1, s3, 0
+		VSMOVE s4, v1, 3
+		HALT
+	`, nil)
+	if p.S[2] != 99 || p.S[4] != 99 {
+		t.Fatalf("scratch round trip: s2=%d s4=%d", p.S[2], p.S[4])
+	}
+}
+
+func TestDRAMAccessAndPrefetch(t *testing.T) {
+	dram := []int32{10, 20, 30, 40, 50, 60, 70, 80}
+	src := `
+		ADDI s1, s0, 0x1000000
+		MEM_FETCH s1, 8
+		VLOAD v0, s1, 0
+		VLOAD v1, s1, 4
+		VSMOVE s2, v0, 0
+		VSMOVE s3, v1, 3
+		HALT
+	`
+	p := run(t, src, dram)
+	if p.S[2] != 10 || p.S[3] != 80 {
+		t.Fatalf("dram values: s2=%d s3=%d", p.S[2], p.S[3])
+	}
+	prefetched := p.Stats()
+
+	// Same program without the prefetch must cost more cycles.
+	noFetch := strings.Replace(src, "MEM_FETCH s1, 8\n", "", 1)
+	p2 := run(t, noFetch, dram)
+	if p2.Stats().Cycles <= prefetched.Cycles-1 {
+		t.Fatalf("unprefetched run (%d cycles) not slower than prefetched (%d)",
+			p2.Stats().Cycles, prefetched.Cycles)
+	}
+	if prefetched.DRAMBytesRead != 32 {
+		t.Fatalf("DRAMBytesRead = %d, want 32", prefetched.DRAMBytesRead)
+	}
+}
+
+func TestOutOfRangeAccessFaults(t *testing.T) {
+	prog, _ := asm.Assemble("LOAD s1, s0, 999999999\nHALT")
+	p := New(DefaultConfig(2), nil)
+	if err := p.Run(prog); err == nil {
+		t.Fatal("no fault on wild load")
+	}
+}
+
+func TestPriorityQueueOps(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 1
+		ADDI s2, s0, 50
+		PQUEUE_INSERT s1, s2
+		ADDI s1, s0, 2
+		ADDI s2, s0, 30
+		PQUEUE_INSERT s1, s2
+		ADDI s1, s0, 3
+		ADDI s2, s0, 40
+		PQUEUE_INSERT s1, s2
+		PQUEUE_LOAD s3, 0     ; id at pos 0
+		PQUEUE_LOAD s4, 1     ; value at pos 0
+		PQUEUE_LOAD s5, 2     ; id at pos 1
+		HALT
+	`, nil)
+	if p.S[3] != 2 || p.S[4] != 30 || p.S[5] != 3 {
+		t.Fatalf("queue loads: %v", p.S[3:6])
+	}
+	res := p.Results()
+	if len(res) != 3 || res[0].ID != 2 || res[1].ID != 3 || res[2].ID != 1 {
+		t.Fatalf("results: %v", res)
+	}
+}
+
+func TestPQueueResetAndEmptyLoad(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 9
+		PQUEUE_INSERT s1, s1
+		PQUEUE_RESET
+		PQUEUE_LOAD s2, 0
+		HALT
+	`, nil)
+	if p.S[2] != -1 {
+		t.Fatalf("empty queue load = %d, want -1", p.S[2])
+	}
+}
+
+func TestSFXP(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 0b1010
+		ADDI s2, s0, 0b0110
+		ADDI s3, s0, 5
+		SFXP s3, s1, s2
+		HALT
+	`, nil)
+	if p.S[3] != 7 {
+		t.Fatalf("SFXP = %d, want 7", p.S[3])
+	}
+}
+
+func TestVFXP(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, -1        ; 0xFFFFFFFF
+		SVMOVE v0, s1, -1
+		SVMOVE v1, s0, -1      ; zeros
+		VXOR v2, v2, v2
+		VFXP v2, v0, v1
+		VFXP v2, v0, v1
+		VSMOVE s2, v2, 0
+		HALT
+	`, nil)
+	if p.S[2] != 64 {
+		t.Fatalf("VFXP accumulation = %d, want 64", p.S[2])
+	}
+}
+
+func TestSoftwareQueueCostsMore(t *testing.T) {
+	src := `
+		ADDI s1, s0, 200
+		XOR  s2, s2, s2
+	loop:	PQUEUE_INSERT s2, s2
+		ADDI s2, s2, 1
+		BLT  s2, s1, loop
+		HALT
+	`
+	hw := run(t, src, nil)
+	cfg := DefaultConfig(4)
+	cfg.SoftwareQueue = true
+	sw := runCfg(t, src, nil, cfg)
+	if sw.Stats().Cycles <= hw.Stats().Cycles {
+		t.Fatalf("software queue (%d cycles) not slower than hardware (%d)",
+			sw.Stats().Cycles, hw.Stats().Cycles)
+	}
+	// Contents must be identical either way.
+	hr, sr := hw.Results(), sw.Results()
+	if len(hr) != len(sr) {
+		t.Fatalf("result sizes differ: %d vs %d", len(hr), len(sr))
+	}
+	for i := range hr {
+		if hr[i] != sr[i] {
+			t.Fatalf("result %d differs: %v vs %v", i, hr[i], sr[i])
+		}
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.MaxCycles = 1000
+	prog, _ := asm.Assemble("loop: J loop")
+	p := New(cfg, nil)
+	if err := p.Run(prog); err == nil || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("err = %v, want MaxCycles", err)
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	// Program without HALT falls off the end.
+	prog, _ := asm.Assemble("ADD s1, s1, s1")
+	p := New(DefaultConfig(2), nil)
+	if err := p.Run(prog); err == nil {
+		t.Fatal("no error when pc runs off program end")
+	}
+}
+
+func TestResetForQuery(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 5
+		PQUEUE_INSERT s1, s1
+		PUSH s1
+		HALT
+	`, nil)
+	if err := p.WriteScratch(0, []int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetForQuery()
+	if p.S[1] != 0 || p.Queue.Len() != 0 || len(p.stack) != 0 {
+		t.Fatal("ResetForQuery did not clear state")
+	}
+	if p.scratch[1] != 2 {
+		t.Fatal("ResetForQuery should keep scratchpad contents")
+	}
+}
+
+func TestWriteScratchBounds(t *testing.T) {
+	p := New(DefaultConfig(2), nil)
+	if err := p.WriteScratch(-1, []int32{1}); err == nil {
+		t.Fatal("no error on negative offset")
+	}
+	if err := p.WriteScratch(8190, []int32{1, 2, 3}); err == nil {
+		t.Fatal("no error past scratch end")
+	}
+}
+
+func TestInstructionCounters(t *testing.T) {
+	p := run(t, `
+		VADD v1, v1, v1
+		ADD s1, s1, s1
+		HALT
+	`, nil)
+	st := p.Stats()
+	if st.VectorInsts != 1 || st.ScalarInsts != 2 || st.Instructions != 3 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.Seconds(1e9) <= 0 {
+		t.Fatal("Seconds not positive")
+	}
+	if st.OpCounts[isa.ADD] != 2 || st.OpCounts[isa.HALT] != 1 {
+		t.Fatalf("op histogram wrong: ADD=%d HALT=%d", st.OpCounts[isa.ADD], st.OpCounts[isa.HALT])
+	}
+	if st.VectorPct() < 33 || st.VectorPct() > 34 {
+		t.Fatalf("VectorPct = %v", st.VectorPct())
+	}
+}
+
+func TestMemoryReadPct(t *testing.T) {
+	p := run(t, `
+		ADDI s1, s0, 5
+		STORE s1, s0, 0
+		LOAD s2, s0, 0
+		LOAD s3, s0, 0
+		HALT
+	`, nil)
+	st := p.Stats()
+	if got := st.MemoryReadPct(); got != 40 { // 2 loads of 5 instructions
+		t.Fatalf("MemoryReadPct = %v, want 40", got)
+	}
+	if (Stats{}).MemoryReadPct() != 0 || (Stats{}).VectorPct() != 0 {
+		t.Fatal("zero stats percentages should be 0")
+	}
+}
+
+func TestDecodedProgramRuns(t *testing.T) {
+	// End-to-end: assemble -> encode -> decode -> run.
+	prog, err := asm.Assemble("ADDI s1, s0, 9\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := isa.DecodeProgram(isa.EncodeProgram(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(DefaultConfig(2), nil)
+	if err := p.Run(back); err != nil {
+		t.Fatal(err)
+	}
+	if p.S[1] != 9 {
+		t.Fatalf("s1 = %d", p.S[1])
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+// KD-tree traversal kernel. Section III-C motivates the hardware stack
+// unit precisely for this: "The stack unit is a natural choice to
+// facilitate backtracking when traversing hierarchical index
+// structures", and Section III-D places indexing structures in the
+// scratchpad. This kernel walks a scratchpad-resident kd-tree with the
+// scalar unit, pushing far branches on the hardware stack, scans leaf
+// buckets (contiguous DRAM ranges in tree order) with the vector unit,
+// and stops after a bounded number of scanned vectors — the paper's
+// "depth first search-like fashion" backtracking with a user-specified
+// check bound.
+
+import "fmt"
+
+// TreeNodeWords is the scratchpad footprint of one serialized node:
+// [cutDim (-1 for leaf), cutVal, left, right, leafStart, leafEnd].
+const TreeNodeWords = 6
+
+// TreeScratchLayout describes the traversal kernel's scratchpad ABI:
+// the query occupies [0, Padded), the serialized tree starts at
+// TreeBase.
+type TreeScratchLayout struct {
+	Padded   int
+	TreeBase int
+	MaxNodes int
+}
+
+// TreeLayout computes the layout for dims/vlen within scratchWords of
+// scratchpad.
+func TreeLayout(dims, vlen, scratchWords int) TreeScratchLayout {
+	padded := PadDims(dims, vlen)
+	return TreeScratchLayout{
+		Padded:   padded,
+		TreeBase: padded,
+		MaxNodes: (scratchWords - padded) / TreeNodeWords,
+	}
+}
+
+// KDTreeKernel emits the traversal kernel for a tree serialized at the
+// layout's TreeBase, with the scan budget baked in as an immediate.
+// The kernel inserts (treeOrderRow, distance) pairs into the priority
+// queue; the host maps rows back to global ids.
+func KDTreeKernel(dims, vlen, checks int, lay TreeScratchLayout) string {
+	padded := lay.Padded
+	chunks := padded / vlen
+	var w kernelWriter
+	w.line("; kd-tree traversal kernel: dims=%d (padded %d), VL=%d, checks=%d, tree@%d",
+		dims, padded, vlen, checks, lay.TreeBase)
+	w.line("\tXOR s0, s0, s0")
+	w.line("\tXOR s2, s2, s2            ; scanned")
+	w.line("\tADDI s3, s0, %d           ; check budget", checks)
+	w.line("\tXOR s14, s14, s14         ; stack depth")
+	w.line("\tXOR s1, s1, s1            ; node = root")
+
+	w.line("descend:")
+	w.line("\tMULTI s10, s1, %d", TreeNodeWords)
+	w.line("\tADDI s10, s10, %d         ; node address", lay.TreeBase)
+	w.line("\tLOAD s11, s10, 0          ; cut dimension")
+	w.line("\tBLT s11, s0, leaf")
+	w.line("\tLOAD s12, s10, 1          ; cut value")
+	w.line("\tLOAD s13, s11, 0          ; query[cutDim] (query at scratch 0)")
+	w.line("\tBLT s13, s12, goleft")
+	w.line("\tLOAD s18, s10, 2          ; far = left")
+	w.line("\tPUSH s18")
+	w.line("\tADDI s14, s14, 1")
+	w.line("\tLOAD s1, s10, 3           ; near = right")
+	w.line("\tJ descend")
+	w.line("goleft:")
+	w.line("\tLOAD s18, s10, 3          ; far = right")
+	w.line("\tPUSH s18")
+	w.line("\tADDI s14, s14, 1")
+	w.line("\tLOAD s1, s10, 2           ; near = left")
+	w.line("\tJ descend")
+
+	w.line("leaf:")
+	w.line("\tLOAD s15, s10, 4          ; bucket start row")
+	w.line("\tLOAD s16, s10, 5          ; bucket end row")
+	w.line("\tADD s19, s15, s0")
+	w.line("rowloop:")
+	w.line("\tBLT s19, s16, dorow")
+	w.line("\tJ backtrack")
+	w.line("dorow:")
+	w.line("\tMULTI s17, s19, %d", padded)
+	w.line("\tADDI s17, s17, %d         ; DRAM row address", DRAMBase)
+	w.line("\tMEM_FETCH s17, %d", padded)
+	w.line("\tVXOR v3, v3, v3")
+	w.line("\tXOR s4, s4, s4")
+	w.line("\tADDI s5, s0, %d", chunks)
+	w.line("\tXOR s6, s6, s6")
+	w.line("inner:")
+	w.line("\tVLOAD v0, s6, 0")
+	w.line("\tVLOAD v1, s17, 0")
+	w.line("\tVSUB v2, v0, v1")
+	w.line("\tVMULT v2, v2, v2")
+	w.line("\tVADD v3, v3, v2")
+	w.line("\tADDI s6, s6, %d", vlen)
+	w.line("\tADDI s17, s17, %d", vlen)
+	w.line("\tADDI s4, s4, 1")
+	w.line("\tBLT s4, s5, inner")
+	w.reduce("v3", "s7", vlen)
+	w.line("\tPQUEUE_INSERT s19, s7")
+	w.line("\tADDI s2, s2, 1")
+	w.line("\tADDI s19, s19, 1")
+	w.line("\tJ rowloop")
+
+	w.line("backtrack:")
+	w.line("\tBLT s2, s3, budget_ok     ; budget left?")
+	w.line("\tJ done")
+	w.line("budget_ok:")
+	w.line("\tBGT s14, s0, popnext      ; branches left?")
+	w.line("\tJ done")
+	w.line("popnext:")
+	w.line("\tPOP s1")
+	w.line("\tSUBI s14, s14, 1")
+	w.line("\tJ descend")
+	w.line("done:")
+	w.line("\tHALT")
+	return w.b.String()
+}
+
+// SerializedTree is a host-built kd-tree in the kernel's scratch
+// format, over rows re-laid in tree order.
+type SerializedTree struct {
+	Words []int32 // TreeNodeWords per node
+	Order []int32 // tree-order row -> original slice-local row
+	Depth int
+}
+
+// BuildSerializedTree constructs a kd-tree over n fixed-point rows
+// (row i at data[i*padded : i*padded+dims]) and serializes it. Cut
+// dimensions maximize subset variance, cuts are at the mean. The
+// returned tree's leaf ranges refer to tree-order rows: callers must
+// re-lay the data with Order before running the kernel.
+func BuildSerializedTree(data []int32, n, dims, padded, leafSize, maxNodes int) (*SerializedTree, error) {
+	if leafSize < 1 {
+		leafSize = 16
+	}
+	t := &SerializedTree{}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	b := &treeBuilder{data: data, dims: dims, padded: padded, leafSize: leafSize, maxNodes: maxNodes}
+	if _, err := b.build(rows, 0, 1); err != nil {
+		return nil, err
+	}
+	t.Words = b.words
+	t.Order = b.order
+	t.Depth = b.depth
+	return t, nil
+}
+
+type treeBuilder struct {
+	data     []int32
+	dims     int
+	padded   int
+	leafSize int
+	maxNodes int
+	words    []int32
+	order    []int32
+	depth    int
+}
+
+func (b *treeBuilder) row(r int32) []int32 {
+	return b.data[int(r)*b.padded : int(r)*b.padded+b.dims]
+}
+
+// build serializes the subtree over rows, returning its node index.
+func (b *treeBuilder) build(rows []int32, start, depth int) (int32, error) {
+	if len(b.words)/TreeNodeWords >= b.maxNodes {
+		return 0, fmt.Errorf("sim: kd-tree exceeds scratchpad budget of %d nodes", b.maxNodes)
+	}
+	if depth > b.depth {
+		b.depth = depth
+	}
+	idx := int32(len(b.words) / TreeNodeWords)
+	b.words = append(b.words, -1, 0, 0, 0, 0, 0)
+
+	if len(rows) <= b.leafSize {
+		b.setLeaf(idx, rows, start)
+		return idx, nil
+	}
+	dim, cut, ok := b.chooseCut(rows)
+	if !ok {
+		b.setLeaf(idx, rows, start)
+		return idx, nil
+	}
+	var left, right []int32
+	for _, r := range rows {
+		if b.row(r)[dim] < cut {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		b.setLeaf(idx, rows, start)
+		return idx, nil
+	}
+	l, err := b.build(left, start, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.build(right, start+len(left), depth+1)
+	if err != nil {
+		return 0, err
+	}
+	base := int(idx) * TreeNodeWords
+	b.words[base+0] = int32(dim)
+	b.words[base+1] = cut
+	b.words[base+2] = l
+	b.words[base+3] = r
+	return idx, nil
+}
+
+func (b *treeBuilder) setLeaf(idx int32, rows []int32, start int) {
+	base := int(idx) * TreeNodeWords
+	b.words[base+0] = -1
+	b.words[base+4] = int32(start)
+	b.words[base+5] = int32(start + len(rows))
+	b.order = append(b.order, rows...)
+}
+
+func (b *treeBuilder) chooseCut(rows []int32) (dim int, cut int32, ok bool) {
+	bestVar := -1.0
+	n := float64(len(rows))
+	var bestMean float64
+	for d := 0; d < b.dims; d++ {
+		var sum, sq float64
+		for _, r := range rows {
+			v := float64(b.row(r)[d])
+			sum += v
+			sq += v * v
+		}
+		mean := sum / n
+		if v := sq/n - mean*mean; v > bestVar {
+			bestVar, dim, bestMean = v, d, mean
+		}
+	}
+	if bestVar <= 0 {
+		return 0, 0, false
+	}
+	return dim, int32(bestMean), true
+}

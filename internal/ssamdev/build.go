@@ -1,0 +1,306 @@
+package ssamdev
+
+// Index construction on the device (Section VI-B): the SSAM is
+// reprogrammed to run the data-intensive scans of index builds —
+// k-means assignment passes and the kd-tree variance scan — while the
+// host performs the short serialized phases (centroid updates, cut
+// selection).
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ssam/internal/asm"
+	"ssam/internal/sim"
+	"ssam/internal/vec"
+)
+
+// AssignCentroids runs one k-means assignment pass on the device:
+// every database vector is scored against the centroids (held in each
+// processing unit's scratchpad) and the argmin index is written back
+// to device memory. The returned slice maps database id to centroid
+// index. Stats aggregate the simulated execution as for Search.
+func (d *Device) AssignCentroids(centroids [][]float32) ([]int32, QueryStats, error) {
+	if d.metric == vec.HammingMetric {
+		return nil, QueryStats{}, fmt.Errorf("ssamdev: AssignCentroids on a Hamming device")
+	}
+	k := len(centroids)
+	if k == 0 {
+		return nil, QueryStats{}, fmt.Errorf("ssamdev: no centroids")
+	}
+	lay := sim.KMeansLayout(d.dim, d.cfg.PU.VectorLen, k)
+	puCfg := d.puConfig(1)
+	if err := lay.Fits(puCfg.ScratchWords); err != nil {
+		return nil, QueryStats{}, err
+	}
+	// Quantize centroids into the scratch image once.
+	scratch := make([]int32, lay.TotalWords)
+	for c, row := range centroids {
+		if len(row) != d.dim {
+			return nil, QueryStats{}, fmt.Errorf("ssamdev: centroid %d has dim %d, want %d", c, len(row), d.dim)
+		}
+		copy(scratch[c*lay.Padded:], sim.QuantizeDevice(row, d.shift))
+	}
+
+	assign := make([]int32, d.n)
+	stats, err := d.forEachPU(func(sl *puSlice) (sim.Stats, error) {
+		nvec := len(sl.ids)
+		src := sim.KMeansAssignKernel(d.dim, nvec, d.cfg.PU.VectorLen, k)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		// Extend the shard with the assignment region.
+		dram := make([]int32, len(sl.dram)+nvec)
+		copy(dram, sl.dram)
+		pu := sim.New(puCfg, dram)
+		if err := pu.WriteScratch(0, scratch); err != nil {
+			return sim.Stats{}, err
+		}
+		if err := pu.Run(prog); err != nil {
+			return sim.Stats{}, err
+		}
+		out, err := pu.ReadDRAM(nvec*d.padded, nvec)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		for i, a := range out {
+			if a < 0 || int(a) >= k {
+				return sim.Stats{}, fmt.Errorf("ssamdev: assignment %d out of range", a)
+			}
+			assign[sl.ids[i]] = a
+		}
+		return pu.Stats(), nil
+	})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return assign, stats, nil
+}
+
+// DimensionStats runs the variance scan: per-dimension sums and sums
+// of squares over the whole database, de-quantized to float64. The
+// kd-tree builder uses these to pick the highest-variance cut
+// dimensions on the host.
+func (d *Device) DimensionStats() (sum, sumsq []float64, stats QueryStats, err error) {
+	if d.metric == vec.HammingMetric {
+		return nil, nil, QueryStats{}, fmt.Errorf("ssamdev: DimensionStats on a Hamming device")
+	}
+	puCfg := d.puConfig(1)
+	if 2*d.padded > puCfg.ScratchWords {
+		return nil, nil, QueryStats{}, fmt.Errorf("ssamdev: variance scan needs %d scratch words, have %d",
+			2*d.padded, puCfg.ScratchWords)
+	}
+	sum = make([]float64, d.dim)
+	sumsq = make([]float64, d.dim)
+	var mu sync.Mutex
+
+	stats, err = d.forEachPU(func(sl *puSlice) (sim.Stats, error) {
+		nvec := len(sl.ids)
+		sh := sim.VarianceShiftsFor(nvec, d.shift)
+		src := sim.VarianceKernel(d.dim, nvec, d.cfg.PU.VectorLen, sh)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		pu := sim.New(puCfg, sl.dram)
+		if err := pu.WriteScratch(0, make([]int32, 2*d.padded)); err != nil {
+			return sim.Stats{}, err
+		}
+		if err := pu.Run(prog); err != nil {
+			return sim.Stats{}, err
+		}
+		raw, err := pu.ReadScratch(0, 2*d.padded)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		scaleSum := float64(int64(1)<<uint(sh.Sum)) / float64(int64(1)<<uint(d.shift))
+		scaleSq := float64(int64(1)<<uint(sh.Sq)) / float64(int64(1)<<uint(2*d.shift))
+		mu.Lock()
+		for dim := 0; dim < d.dim; dim++ {
+			sum[dim] += float64(raw[dim]) * scaleSum
+			sumsq[dim] += float64(raw[d.padded+dim]) * scaleSq
+		}
+		mu.Unlock()
+		return pu.Stats(), nil
+	})
+	if err != nil {
+		return nil, nil, QueryStats{}, err
+	}
+	return sum, sumsq, stats, nil
+}
+
+// TopVarianceDims returns the count highest-variance dimensions using
+// the device scan (the kd-tree construction offload).
+func (d *Device) TopVarianceDims(count int) ([]int, QueryStats, error) {
+	sum, sumsq, stats, err := d.DimensionStats()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if count > d.dim {
+		count = d.dim
+	}
+	type dv struct {
+		d int
+		v float64
+	}
+	vars := make([]dv, d.dim)
+	n := float64(d.n)
+	for i := range vars {
+		mean := sum[i] / n
+		vars[i] = dv{i, sumsq[i]/n - mean*mean}
+	}
+	// Partial selection sort for the top `count`.
+	out := make([]int, 0, count)
+	for len(out) < count {
+		best := -1
+		for i, c := range vars {
+			if c.d < 0 {
+				continue
+			}
+			if best < 0 || c.v > vars[best].v {
+				best = i
+			}
+		}
+		out = append(out, vars[best].d)
+		vars[best].d = -1
+	}
+	return out, stats, nil
+}
+
+// TrainKMeans runs Lloyd's algorithm with device-offloaded assignment
+// passes: the device scores every vector against the centroids each
+// iteration, the host recomputes centroids from the assignments.
+// Returns the trained centroids and the accumulated device stats.
+func (d *Device) TrainKMeans(k, iters int, seed int64) ([][]float32, QueryStats, error) {
+	if k <= 0 || k > d.n {
+		return nil, QueryStats{}, fmt.Errorf("ssamdev: k=%d out of range for n=%d", k, d.n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := make([][]float32, k)
+	perm := rng.Perm(d.n)
+	for c := 0; c < k; c++ {
+		centroids[c] = d.dequantizeRow(perm[c])
+	}
+	var total QueryStats
+	for it := 0; it < iters; it++ {
+		assign, st, err := d.AssignCentroids(centroids)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		total.Cycles += st.Cycles
+		total.Seconds += st.Seconds
+		total.Instructions += st.Instructions
+		total.VectorInsts += st.VectorInsts
+		total.DRAMBytesRead += st.DRAMBytesRead
+		total.PUs = st.PUs
+
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, d.dim)
+		}
+		for id, c := range assign {
+			counts[c]++
+			row := d.dequantizeRow(id)
+			for j, v := range row {
+				sums[c][j] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				centroids[c] = d.dequantizeRow(rng.Intn(d.n))
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+	}
+	return centroids, total, nil
+}
+
+// dequantizeRow reconstructs database vector id from its on-device
+// fixed-point image.
+func (d *Device) dequantizeRow(id int) []float32 {
+	for i := range d.slices {
+		sl := &d.slices[i]
+		if len(sl.ids) == 0 {
+			continue
+		}
+		lo, hi := int(sl.ids[0]), int(sl.ids[len(sl.ids)-1])
+		if id < lo || id > hi {
+			continue
+		}
+		local := id - lo
+		out := make([]float32, d.dim)
+		scale := float32(int64(1) << uint(d.shift))
+		for j := 0; j < d.dim; j++ {
+			out[j] = float32(sl.dram[local*d.padded+j]) / scale
+		}
+		return out
+	}
+	panic(fmt.Sprintf("ssamdev: id %d not found in any slice", id))
+}
+
+// puConfig returns the per-PU simulator config with the vault
+// bandwidth share for the current replication.
+func (d *Device) puConfig(minQueueDepth int) sim.Config {
+	cfg := d.cfg.PU
+	cfg.MemBytesPerCycle = d.cfg.HMC.VaultBandwidth / cfg.ClockHz / float64(d.pusPerVault)
+	if minQueueDepth > cfg.QueueDepth {
+		cfg.QueueDepth = minQueueDepth
+	}
+	return cfg
+}
+
+// runParallel executes fn(0..n-1) across GOMAXPROCS workers.
+func runParallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// forEachPU runs fn over every slice in parallel and reduces stats as
+// for a query (max cycles, summed counters).
+func (d *Device) forEachPU(fn func(sl *puSlice) (sim.Stats, error)) (QueryStats, error) {
+	outs := make([]sim.Stats, len(d.slices))
+	errs := make([]error, len(d.slices))
+	runParallel(len(d.slices), func(i int) {
+		outs[i], errs[i] = fn(&d.slices[i])
+	})
+
+	var st QueryStats
+	st.PUs = len(d.slices)
+	for i := range outs {
+		if errs[i] != nil {
+			return QueryStats{}, errs[i]
+		}
+		s := outs[i]
+		if s.Cycles > st.Cycles {
+			st.Cycles = s.Cycles
+		}
+		st.Instructions += s.Instructions
+		st.VectorInsts += s.VectorInsts
+		st.DRAMBytesRead += s.DRAMBytesRead
+		st.PQInserts += s.PQInserts
+	}
+	st.Seconds = float64(st.Cycles) / d.cfg.PU.ClockHz
+	return st, nil
+}

@@ -1,0 +1,289 @@
+package ssamdev
+
+import (
+	"math"
+	"testing"
+
+	"ssam/internal/dataset"
+	"ssam/internal/vec"
+)
+
+func TestAssignCentroidsMatchesHost(t *testing.T) {
+	ds := smallDataset(400, 16)
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three well-separated centroids.
+	centroids := [][]float32{ds.Queries[0], ds.Queries[1], ds.Queries[2]}
+	assign, st, err := dev.AssignCentroids(centroids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != ds.N() {
+		t.Fatalf("got %d assignments", len(assign))
+	}
+	if st.Cycles == 0 || st.PUs == 0 {
+		t.Fatalf("no stats: %+v", st)
+	}
+	// Host reference with the same quantization.
+	shift := dev.Shift()
+	qc := make([][]int32, len(centroids))
+	for c, row := range centroids {
+		qc[c] = quantTest(row, shift)
+	}
+	mismatch := 0
+	for id := 0; id < ds.N(); id++ {
+		qrow := quantTest(ds.Row(id), shift)
+		best, bestD := int32(0), int64(math.MaxInt64)
+		for c := range qc {
+			var acc int64
+			for j := range qrow {
+				d := int64(qrow[j]) - int64(qc[c][j])
+				acc += d * d
+			}
+			// The kernel takes the last centroid on exact ties.
+			if acc <= bestD {
+				best, bestD = int32(c), acc
+			}
+		}
+		if assign[id] != best {
+			mismatch++
+		}
+	}
+	if mismatch > ds.N()/100 {
+		t.Fatalf("%d/%d assignments disagree with host reference", mismatch, ds.N())
+	}
+}
+
+func quantTest(v []float32, shift int) []int32 {
+	out := make([]int32, len(v))
+	scale := float64(int64(1) << uint(shift))
+	for i, x := range v {
+		f := float64(x) * scale
+		if f >= 0 {
+			out[i] = int32(f + 0.5)
+		} else {
+			out[i] = int32(f - 0.5)
+		}
+	}
+	return out
+}
+
+func TestAssignCentroidsErrors(t *testing.T) {
+	ds := smallDataset(100, 8)
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dev.AssignCentroids(nil); err == nil {
+		t.Fatal("no centroids accepted")
+	}
+	if _, _, err := dev.AssignCentroids([][]float32{make([]float32, 3)}); err == nil {
+		t.Fatal("wrong-dim centroid accepted")
+	}
+	// Too many centroids for the scratchpad.
+	big := make([][]float32, 2000)
+	for i := range big {
+		big[i] = make([]float32, 8)
+	}
+	if _, _, err := dev.AssignCentroids(big); err == nil {
+		t.Fatal("scratch overflow not detected")
+	}
+}
+
+func TestDimensionStatsMatchHost(t *testing.T) {
+	ds := smallDataset(300, 16)
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, sumsq, st, err := dev.DimensionStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	for j := 0; j < ds.Dim(); j++ {
+		var hs, hq float64
+		for i := 0; i < ds.N(); i++ {
+			v := float64(ds.Row(i)[j])
+			hs += v
+			hq += v * v
+		}
+		if math.Abs(sum[j]-hs) > 0.02*(1+math.Abs(hs)) {
+			t.Fatalf("dim %d: device sum %v, host %v", j, sum[j], hs)
+		}
+		if math.Abs(sumsq[j]-hq) > 0.02*(1+hq) {
+			t.Fatalf("dim %d: device sumsq %v, host %v", j, sumsq[j], hq)
+		}
+	}
+}
+
+func TestTopVarianceDims(t *testing.T) {
+	// Construct data where dimension variance is known: dim j has
+	// variance growing with j.
+	n, dim := 500, 8
+	data := make([]float32, n*dim)
+	for i := 0; i < n; i++ {
+		sign := float32(1)
+		if i%2 == 0 {
+			sign = -1
+		}
+		for j := 0; j < dim; j++ {
+			data[i*dim+j] = sign * float32(j)
+		}
+	}
+	dev, err := NewFloat(DefaultConfig(2), data, dim, vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _, err := dev.TopVarianceDims(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{7, 6, 5}
+	for i, w := range want {
+		if top[i] != w {
+			t.Fatalf("TopVarianceDims = %v, want %v", top, want)
+		}
+	}
+}
+
+func TestTrainKMeansConverges(t *testing.T) {
+	ds := dataset.Generate(dataset.Spec{
+		Name: "train", N: 600, Dim: 12, NumQueries: 1, K: 4,
+		Clusters: 4, ClusterStd: 0.1, Seed: 91,
+	})
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centroids, st, err := dev.TrainKMeans(4, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 4 || st.Cycles == 0 {
+		t.Fatalf("train output: %d centroids, %d cycles", len(centroids), st.Cycles)
+	}
+	// Quality check: mean distance of points to the nearest trained
+	// centroid should be far below the mean pairwise distance.
+	assignDist := 0.0
+	for i := 0; i < ds.N(); i++ {
+		best := math.MaxFloat64
+		for _, c := range centroids {
+			if d := vec.SquaredL2(ds.Row(i), c); d < best {
+				best = d
+			}
+		}
+		assignDist += best
+	}
+	assignDist /= float64(ds.N())
+	spread := 0.0
+	for i := 0; i < 100; i++ {
+		spread += vec.SquaredL2(ds.Row(i), ds.Row((i+ds.N()/2)%ds.N()))
+	}
+	spread /= 100
+	if assignDist > spread/4 {
+		t.Fatalf("k-means quality poor: within-cluster %v vs spread %v", assignDist, spread)
+	}
+}
+
+func TestTrainKMeansErrors(t *testing.T) {
+	ds := smallDataset(50, 8)
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dev.TrainKMeans(0, 1, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := dev.TrainKMeans(100, 1, 1); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestHammingDeviceRejectsBuildOps(t *testing.T) {
+	ds := smallDataset(100, 64)
+	dev, err := NewBinary(DefaultConfig(4), ds.ToBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dev.AssignCentroids([][]float32{make([]float32, 2)}); err == nil {
+		t.Fatal("AssignCentroids on Hamming device accepted")
+	}
+	if _, _, _, err := dev.DimensionStats(); err == nil {
+		t.Fatal("DimensionStats on Hamming device accepted")
+	}
+}
+
+func TestClusterMatchesSingleDevice(t *testing.T) {
+	ds := smallDataset(600, 16)
+	single, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewFloatCluster(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Modules() != 3 {
+		t.Fatalf("Modules = %d, want 3", cl.Modules())
+	}
+	if cl.N() != ds.N() {
+		t.Fatalf("N = %d", cl.N())
+	}
+	for _, qi := range []int{0, 3} {
+		a, _, err := single.Search(ds.Queries[qi], 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, st, err := cl.Search(ds.Queries[qi], 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Seconds <= 0 || st.PUs <= single.TotalPUs() {
+			t.Fatalf("cluster stats implausible: %+v", st)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("query %d result %d: single %d, cluster %d", qi, i, a[i].ID, b[i].ID)
+			}
+		}
+	}
+}
+
+func TestClusterCapacitySharding(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.HMC.CapacityBytes = 8 * 1024 // force multiple modules
+	ds := smallDataset(300, 16)
+	cl, err := NewFloatCluster(cfg, ds.Data, ds.Dim(), vec.Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Modules() < 2 {
+		t.Fatalf("expected capacity-driven sharding, got %d modules", cl.Modules())
+	}
+	res, _, err := cl.Search(ds.Row(250), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 250 {
+		t.Fatalf("self query across shards = %+v", res[0])
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	ds := smallDataset(100, 8)
+	if _, err := NewFloatCluster(DefaultConfig(4), ds.Data, 7, vec.Euclidean, 1); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	cl, err := NewFloatCluster(DefaultConfig(4), ds.Data, 8, vec.Euclidean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Search(make([]float32, 3), 1); err == nil {
+		t.Fatal("wrong-dim query accepted")
+	}
+}

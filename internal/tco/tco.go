@@ -1,0 +1,150 @@
+// Package tco reproduces the Section VI-A cost-of-specialization
+// analysis: an analytical model of the query demand, fleet size,
+// energy draw and multi-year energy cost of serving a Google-scale
+// unique-query stream with CPU servers versus SSAM-based servers, set
+// against the non-recurring engineering cost of a 28 nm ASIC.
+//
+// The paper's headline inputs: >56,000 queries/second of which 20% are
+// unique (the rest served by a front-end cache), a $88M NRE for mask
+// and development at 28 nm [46], 6.9 cents/kWh industrial energy
+// (2015 7-month average), a three-year deployment, and GIST-sized
+// descriptors. The model exposes every input so the bench harness can
+// feed it measured throughputs.
+package tco
+
+import "math"
+
+// Params are the analysis inputs.
+type Params struct {
+	// TotalQPS is the front-end query arrival rate.
+	TotalQPS float64
+	// UniqueFraction is the share missing the result cache.
+	UniqueFraction float64
+	// CPUQPSPerServer is measured linear-search throughput of one CPU
+	// server on the workload.
+	CPUQPSPerServer float64
+	// CPUServerPowerW is per-server dynamic compute power.
+	CPUServerPowerW float64
+	// SSAMQPSPerModule is one SSAM module's throughput on the same
+	// workload.
+	SSAMQPSPerModule float64
+	// SSAMModulePowerW is one module's accelerator power draw.
+	SSAMModulePowerW float64
+	// SSAMModulesPerServer is how many modules one host aggregates.
+	SSAMModulesPerServer int
+	// SSAMHostPowerW is the host-side dynamic power per SSAM server.
+	SSAMHostPowerW float64
+	// EnergyCostPerKWh is the electricity price in dollars.
+	EnergyCostPerKWh float64
+	// Years is the deployment horizon.
+	Years float64
+	// NRECost is the ASIC mask + development cost.
+	NRECost float64
+	// CapexPerCPUServer and CapexPerSSAMServer price the machines
+	// themselves (the paper's analysis covers compute energy only and
+	// notes it excludes such overheads; at self-consistent energy
+	// prices the fleet capex, not the power bill, is where the
+	// specialization savings actually accrue). Zero omits capex.
+	CapexPerCPUServer  float64
+	CapexPerSSAMServer float64
+}
+
+// PaperParams returns the paper's stated inputs, parameterized by the
+// measured CPU and SSAM throughputs on the GIST workload.
+func PaperParams(cpuQPS, ssamQPS float64) Params {
+	return Params{
+		TotalQPS:             56000,
+		UniqueFraction:       0.20,
+		CPUQPSPerServer:      cpuQPS,
+		CPUServerPowerW:      55,
+		SSAMQPSPerModule:     ssamQPS,
+		SSAMModulePowerW:     13.3, // Table III, SSAM-8
+		SSAMModulesPerServer: 16,
+		SSAMHostPowerW:       60,
+		EnergyCostPerKWh:     0.069,
+		Years:                3,
+	}
+}
+
+// Result is the computed comparison.
+type Result struct {
+	UniqueQPS float64
+
+	CPUServers      int
+	CPUFleetPowerW  float64
+	CPUEnergyCost   float64 // dollars over the horizon
+	CPUCapex        float64
+	SSAMModules     int
+	SSAMServers     int
+	SSAMFleetPowerW float64
+	SSAMEnergyCost  float64
+	SSAMCapex       float64
+
+	// EnergySavings is CPU minus SSAM energy cost over the horizon.
+	EnergySavings float64
+	// TotalSavings adds the fleet capex difference.
+	TotalSavings float64
+	// NetSavings subtracts the ASIC NRE.
+	NetSavings float64
+	// CostEffective reports whether the deployment recoups the NRE
+	// within the horizon — the paper's conclusion.
+	CostEffective bool
+}
+
+// Analyze runs the model.
+func Analyze(p Params) Result {
+	var r Result
+	r.UniqueQPS = p.TotalQPS * p.UniqueFraction
+
+	r.CPUServers = ceilDiv(r.UniqueQPS, p.CPUQPSPerServer)
+	r.CPUFleetPowerW = float64(r.CPUServers) * p.CPUServerPowerW
+	r.CPUEnergyCost = energyCost(r.CPUFleetPowerW, p.Years, p.EnergyCostPerKWh)
+
+	r.SSAMModules = ceilDiv(r.UniqueQPS, p.SSAMQPSPerModule)
+	mps := p.SSAMModulesPerServer
+	if mps < 1 {
+		mps = 1
+	}
+	r.SSAMServers = (r.SSAMModules + mps - 1) / mps
+	r.SSAMFleetPowerW = float64(r.SSAMModules)*p.SSAMModulePowerW +
+		float64(r.SSAMServers)*p.SSAMHostPowerW
+	r.SSAMEnergyCost = energyCost(r.SSAMFleetPowerW, p.Years, p.EnergyCostPerKWh)
+
+	r.CPUCapex = float64(r.CPUServers) * p.CapexPerCPUServer
+	r.SSAMCapex = float64(r.SSAMServers) * p.CapexPerSSAMServer
+	r.EnergySavings = r.CPUEnergyCost - r.SSAMEnergyCost
+	r.TotalSavings = r.EnergySavings + r.CPUCapex - r.SSAMCapex
+	r.NetSavings = r.TotalSavings - p.NRECost
+	r.CostEffective = r.NetSavings > 0
+	return r
+}
+
+func ceilDiv(a, b float64) int {
+	if b <= 0 {
+		return 0
+	}
+	return int(math.Ceil(a / b))
+}
+
+// energyCost converts sustained watts over years into dollars.
+func energyCost(watts, years, dollarsPerKWh float64) float64 {
+	hours := years * 365 * 24
+	kwh := watts / 1000 * hours
+	return kwh * dollarsPerKWh
+}
+
+// NRE28nm is the paper's cited mask + development cost for a 28 nm
+// ASIC [46].
+const NRE28nm = 88e6
+
+// PaperReported holds the figures the paper states for reference in
+// EXPERIMENTS.md: ~1,800 CPU machines, $772M CPU versus $4.69M SSAM
+// compute-energy cost over three years. (The paper's energy
+// arithmetic implies a much larger per-server draw than its measured
+// 55 W dynamic power; our model reports the self-consistent values
+// and EXPERIMENTS.md records both.)
+var PaperReported = struct {
+	CPUServers     int
+	CPUEnergyCost  float64
+	SSAMEnergyCost float64
+}{1800, 772e6, 4.69e6}

@@ -1,0 +1,121 @@
+package topk
+
+// ShiftRegisterQueue models the SSAM's hardware priority queue: a
+// 16-entry shift-register priority queue (Moon, Shin, Rexford [36])
+// that accepts an (id, value) tuple per cycle, keeps entries sorted by
+// value, and can be chained to support larger k (Section III-C:
+// "Because of its modular design, the priority queues can be chained
+// to support larger k values."). Each Insert costs one cycle
+// regardless of queue occupancy — that is the whole point of the
+// hardware unit versus a software heap — and each Load costs one
+// cycle. The queue keeps the k *smallest* values.
+type ShiftRegisterQueue struct {
+	depth   int
+	ids     []int32
+	vals    []int64
+	n       int
+	cycles  uint64
+	enabled bool
+}
+
+// QueueDepth is the depth of one physical priority queue stage in the
+// SSAM design.
+const QueueDepth = 16
+
+// NewShiftRegisterQueue returns a queue of the given total depth.
+// Depths larger than QueueDepth model chained stages; the depth must
+// be a positive multiple of QueueDepth or exactly the requested k when
+// smaller queues are disabled (chained stages can be disabled if not
+// needed).
+func NewShiftRegisterQueue(depth int) *ShiftRegisterQueue {
+	if depth <= 0 {
+		panic("topk: queue depth must be positive")
+	}
+	return &ShiftRegisterQueue{
+		depth:   depth,
+		ids:     make([]int32, depth),
+		vals:    make([]int64, depth),
+		enabled: true,
+	}
+}
+
+// Stages returns how many physical 16-entry stages this queue chains.
+func (q *ShiftRegisterQueue) Stages() int {
+	return (q.depth + QueueDepth - 1) / QueueDepth
+}
+
+// Depth returns the queue's usable depth.
+func (q *ShiftRegisterQueue) Depth() int { return q.depth }
+
+// Len returns the number of valid entries.
+func (q *ShiftRegisterQueue) Len() int { return q.n }
+
+// Cycles returns the number of hardware cycles consumed so far.
+func (q *ShiftRegisterQueue) Cycles() uint64 { return q.cycles }
+
+// Insert offers an (id, value) tuple; smaller values are closer. The
+// entry displaced off the end, if any, is discarded. One cycle.
+func (q *ShiftRegisterQueue) Insert(id int32, val int64) {
+	q.cycles++
+	// Find insertion point: entries are sorted ascending by value. In
+	// hardware every stage compares in parallel; the software model
+	// just shifts.
+	if q.n == q.depth && val >= q.vals[q.n-1] {
+		return
+	}
+	i := q.n
+	if i == q.depth {
+		i = q.depth - 1
+	}
+	for i > 0 && q.vals[i-1] > val {
+		q.vals[i] = q.vals[i-1]
+		q.ids[i] = q.ids[i-1]
+		i--
+	}
+	q.vals[i] = val
+	q.ids[i] = id
+	if q.n < q.depth {
+		q.n++
+	}
+}
+
+// Load returns the entry at position pos (0 = closest). One cycle.
+// Loading an invalid position returns ok=false.
+func (q *ShiftRegisterQueue) Load(pos int) (id int32, val int64, ok bool) {
+	q.cycles++
+	if pos < 0 || pos >= q.n {
+		return 0, 0, false
+	}
+	return q.ids[pos], q.vals[pos], true
+}
+
+// Reset clears the queue. One cycle.
+func (q *ShiftRegisterQueue) Reset() {
+	q.cycles++
+	q.n = 0
+}
+
+// Results drains the queue contents into Result form without
+// consuming model cycles (a host-side convenience, not a hardware
+// operation).
+func (q *ShiftRegisterQueue) Results() []Result {
+	out := make([]Result, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = Result{ID: int(q.ids[i]), Dist: float64(q.vals[i])}
+	}
+	return out
+}
+
+// SoftwareQueueInsertCost returns the modeled instruction cost of one
+// software priority-queue insert with the given queue depth, used by
+// the §V-B priority-queue ablation. A software insert is a call into a
+// bounded sorted-array routine held in the scratchpad: call overhead,
+// loading the current bound, compare and branch (6 ops even when the
+// candidate is rejected), plus on admission ~depth shifts of a
+// two-word entry and the store (8 + depth ops).
+func SoftwareQueueInsertCost(depth int, admitted bool) int {
+	if admitted {
+		return 8 + depth
+	}
+	return 6
+}

@@ -1,0 +1,117 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftRegisterBasic(t *testing.T) {
+	q := NewShiftRegisterQueue(4)
+	for id, v := range []int64{9, 3, 7, 5, 1, 8} {
+		q.Insert(int32(id), v)
+	}
+	// Smallest four of {9,3,7,5,1,8} are 1,3,5,7 with ids 4,1,3,2.
+	wantIDs := []int32{4, 1, 3, 2}
+	wantVals := []int64{1, 3, 5, 7}
+	for i := range wantIDs {
+		id, v, ok := q.Load(i)
+		if !ok || id != wantIDs[i] || v != wantVals[i] {
+			t.Fatalf("Load(%d) = %d,%d,%v; want %d,%d", i, id, v, ok, wantIDs[i], wantVals[i])
+		}
+	}
+}
+
+func TestShiftRegisterLoadOutOfRange(t *testing.T) {
+	q := NewShiftRegisterQueue(4)
+	q.Insert(1, 10)
+	if _, _, ok := q.Load(1); ok {
+		t.Fatal("Load past occupancy succeeded")
+	}
+	if _, _, ok := q.Load(-1); ok {
+		t.Fatal("Load(-1) succeeded")
+	}
+}
+
+func TestShiftRegisterCycles(t *testing.T) {
+	q := NewShiftRegisterQueue(16)
+	for i := 0; i < 100; i++ {
+		q.Insert(int32(i), int64(100-i))
+	}
+	q.Load(0)
+	q.Reset()
+	// 100 inserts + 1 load + 1 reset: the hardware queue is
+	// constant-time per operation.
+	if got := q.Cycles(); got != 102 {
+		t.Fatalf("Cycles = %d, want 102", got)
+	}
+	if q.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestShiftRegisterStages(t *testing.T) {
+	cases := []struct{ depth, stages int }{
+		{1, 1}, {16, 1}, {17, 2}, {32, 2}, {33, 3},
+	}
+	for _, c := range cases {
+		if got := NewShiftRegisterQueue(c.depth).Stages(); got != c.stages {
+			t.Errorf("Stages(depth=%d) = %d, want %d", c.depth, got, c.stages)
+		}
+	}
+}
+
+func TestShiftRegisterBadDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on depth 0")
+		}
+	}()
+	NewShiftRegisterQueue(0)
+}
+
+// Property: the hardware queue and the software selector agree on the
+// retained distance multiset for any input stream.
+func TestShiftRegisterMatchesSelectorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		depth := r.Intn(20) + 1
+		n := r.Intn(300)
+		q := NewShiftRegisterQueue(depth)
+		s := New(depth)
+		for i := 0; i < n; i++ {
+			v := int64(r.Intn(1000))
+			q.Insert(int32(i), v)
+			s.Push(i, float64(v))
+		}
+		hw := q.Results()
+		sw := s.Results()
+		if len(hw) != len(sw) {
+			return false
+		}
+		for i := range hw {
+			if hw[i].Dist != sw[i].Dist {
+				return false
+			}
+		}
+		// Queue contents must be sorted ascending.
+		for i := 1; i < len(hw); i++ {
+			if hw[i].Dist < hw[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftwareQueueInsertCost(t *testing.T) {
+	if got := SoftwareQueueInsertCost(16, true); got != 24 {
+		t.Fatalf("admitted cost = %d, want 24", got)
+	}
+	if got := SoftwareQueueInsertCost(16, false); got != 6 {
+		t.Fatalf("rejected cost = %d, want 6", got)
+	}
+}

@@ -1,0 +1,128 @@
+// Package topk implements the global top-k reduction of kNN: a bounded
+// software selector (max-heap) used by the algorithm engines, and a
+// cycle-annotated model of the shift-register hardware priority queue
+// the SSAM accelerator instantiates (Section III-C, after Moon et
+// al.'s scalable hardware priority queues).
+package topk
+
+import "sort"
+
+// Result is one neighbor candidate: the database id and its distance
+// under whatever metric the engine used (lower is closer).
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Selector keeps the k smallest-distance results seen so far using a
+// bounded binary max-heap. The zero value is not usable; call New.
+type Selector struct {
+	k    int
+	heap []Result // max-heap on Dist
+}
+
+// New returns a Selector that retains the k closest results. k must be
+// positive.
+func New(k int) *Selector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Selector{k: k, heap: make([]Result, 0, k)}
+}
+
+// K returns the selector's capacity.
+func (s *Selector) K() int { return s.k }
+
+// Len returns how many results are currently held.
+func (s *Selector) Len() int { return len(s.heap) }
+
+// Bound returns the current k-th smallest distance, i.e. the threshold
+// a new candidate must beat to be admitted once the selector is full.
+// Before the selector is full it returns +Inf semantics via ok=false.
+func (s *Selector) Bound() (dist float64, ok bool) {
+	if len(s.heap) < s.k {
+		return 0, false
+	}
+	return s.heap[0].Dist, true
+}
+
+// Push offers a candidate. It returns true if the candidate was kept.
+func (s *Selector) Push(id int, dist float64) bool {
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, Result{ID: id, Dist: dist})
+		s.siftUp(len(s.heap) - 1)
+		return true
+	}
+	if dist >= s.heap[0].Dist {
+		return false
+	}
+	s.heap[0] = Result{ID: id, Dist: dist}
+	s.siftDown(0)
+	return true
+}
+
+// Results returns the retained results sorted by ascending distance,
+// ties broken by ascending id for determinism. The selector remains
+// usable afterwards.
+func (s *Selector) Results() []Result {
+	out := make([]Result, len(s.heap))
+	copy(out, s.heap)
+	SortResults(out)
+	return out
+}
+
+// Reset empties the selector, retaining capacity.
+func (s *Selector) Reset() { s.heap = s.heap[:0] }
+
+func (s *Selector) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].Dist >= s.heap[i].Dist {
+			return
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+func (s *Selector) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && s.heap[l].Dist > s.heap[big].Dist {
+			big = l
+		}
+		if r < n && s.heap[r].Dist > s.heap[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.heap[i], s.heap[big] = s.heap[big], s.heap[i]
+		i = big
+	}
+}
+
+// SortResults sorts results by ascending distance, then ascending id.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// Merge combines per-partition top-k lists (each already sorted or not)
+// into the global top-k, the "final set of global top-k reductions on
+// the host processor" from Section III-D.
+func Merge(k int, lists ...[]Result) []Result {
+	s := New(k)
+	for _, l := range lists {
+		for _, r := range l {
+			s.Push(r.ID, r.Dist)
+		}
+	}
+	return s.Results()
+}

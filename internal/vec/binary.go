@@ -1,0 +1,97 @@
+package vec
+
+import "math/bits"
+
+// Binary (Hamming-space) representations, Section II-D: "Binarization
+// techniques trade accuracy for higher throughput ... Binarization also
+// enables Hamming distance calculations which are cheaper to implement
+// in hardware." The SSAM's FXP instruction fuses a 32-bit XOR with a
+// population count; Fxp32 below is the software-visible semantics of
+// that hardware unit.
+
+// Binary is a packed bit vector. Bit i of the conceptual vector is bit
+// (i % 64) of word i/64. Dim records the number of meaningful bits.
+type Binary struct {
+	Words []uint64
+	Dim   int
+}
+
+// NewBinary returns an all-zero binary vector with dim bits.
+func NewBinary(dim int) Binary {
+	return Binary{Words: make([]uint64, (dim+63)/64), Dim: dim}
+}
+
+// Set sets bit i to v.
+func (b Binary) Set(i int, v bool) {
+	if v {
+		b.Words[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		b.Words[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Bit reports whether bit i is set.
+func (b Binary) Bit(i int) bool {
+	return b.Words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Hamming returns the number of differing bits between a and b. The
+// vectors must have the same dimensionality.
+func Hamming(a, b Binary) int {
+	if a.Dim != b.Dim {
+		panic("vec: dimension mismatch")
+	}
+	var acc int
+	for i := range a.Words {
+		acc += bits.OnesCount64(a.Words[i] ^ b.Words[i])
+	}
+	return acc
+}
+
+// Fxp32 is the semantics of the SSAM FXP instruction: a fused
+// xor-popcount over one 32-bit word, treating the word as 32 dimensions
+// of a binary vector, accumulated into acc.
+func Fxp32(acc uint32, a, b uint32) uint32 {
+	return acc + uint32(bits.OnesCount32(a^b))
+}
+
+// SignBinarize converts a float vector to a binary vector by
+// thresholding each dimension against the given per-dimension
+// thresholds (typically the dataset mean). If thresholds is nil, zero
+// is used for every dimension.
+func SignBinarize(v []float32, thresholds []float32) Binary {
+	b := NewBinary(len(v))
+	for i, x := range v {
+		var t float32
+		if thresholds != nil {
+			t = thresholds[i]
+		}
+		if x > t {
+			b.Set(i, true)
+		}
+	}
+	return b
+}
+
+// HyperplaneBinarize produces an nbits-bit code for v: bit j is the
+// sign of the dot product of v with hyperplane j. planes must hold
+// nbits rows of len(v) coefficients. This is the binarization behind
+// both Hamming-space codes (II-D) and hyperplane LSH hashes (II-C).
+func HyperplaneBinarize(v []float32, planes [][]float32) Binary {
+	b := NewBinary(len(planes))
+	for j, p := range planes {
+		if Dot(v, p) >= 0 {
+			b.Set(j, true)
+		}
+	}
+	return b
+}
+
+// PopCount returns the number of set bits in b.
+func (b Binary) PopCount() int {
+	var acc int
+	for _, w := range b.Words {
+		acc += bits.OnesCount64(w)
+	}
+	return acc
+}

@@ -1,0 +1,147 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinarySetBit(t *testing.T) {
+	b := NewBinary(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Bit(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		b.Set(i, true)
+		if !b.Bit(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Set(i, false)
+		if b.Bit(i) {
+			t.Fatalf("bit %d still set after clear", i)
+		}
+	}
+}
+
+func TestHammingKnown(t *testing.T) {
+	a, b := NewBinary(70), NewBinary(70)
+	a.Set(0, true)
+	a.Set(69, true)
+	b.Set(69, true)
+	b.Set(33, true)
+	if got := Hamming(a, b); got != 2 {
+		t.Fatalf("Hamming = %d, want 2", got)
+	}
+	if got := Hamming(a, a); got != 0 {
+		t.Fatalf("Hamming(a,a) = %d, want 0", got)
+	}
+}
+
+func TestHammingDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	Hamming(NewBinary(10), NewBinary(11))
+}
+
+func TestFxp32(t *testing.T) {
+	if got := Fxp32(0, 0xFFFFFFFF, 0); got != 32 {
+		t.Fatalf("Fxp32 = %d, want 32", got)
+	}
+	if got := Fxp32(5, 0b1010, 0b0110); got != 7 {
+		t.Fatalf("Fxp32 accumulate = %d, want 7", got)
+	}
+}
+
+// Property: Fxp32 accumulated over words equals Hamming on the packed
+// vectors — the FXP instruction computes Hamming distance.
+func TestFxpMatchesHammingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := (r.Intn(8) + 1) * 64 // whole words
+		a, b := NewBinary(dim), NewBinary(dim)
+		for i := 0; i < dim; i++ {
+			a.Set(i, r.Intn(2) == 1)
+			b.Set(i, r.Intn(2) == 1)
+		}
+		var acc uint32
+		for w := range a.Words {
+			lo1, hi1 := uint32(a.Words[w]), uint32(a.Words[w]>>32)
+			lo2, hi2 := uint32(b.Words[w]), uint32(b.Words[w]>>32)
+			acc = Fxp32(acc, lo1, lo2)
+			acc = Fxp32(acc, hi1, hi2)
+		}
+		return int(acc) == Hamming(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hamming distance is a metric on binary vectors.
+func TestHammingMetricQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := r.Intn(200) + 1
+		mk := func() Binary {
+			v := NewBinary(dim)
+			for i := 0; i < dim; i++ {
+				v.Set(i, r.Intn(2) == 1)
+			}
+			return v
+		}
+		a, b, c := mk(), mk(), mk()
+		if Hamming(a, b) != Hamming(b, a) {
+			return false
+		}
+		if Hamming(a, a) != 0 {
+			return false
+		}
+		return Hamming(a, c) <= Hamming(a, b)+Hamming(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignBinarize(t *testing.T) {
+	v := []float32{1, -1, 0.5, -0.5}
+	b := SignBinarize(v, nil)
+	want := []bool{true, false, true, false}
+	for i, w := range want {
+		if b.Bit(i) != w {
+			t.Errorf("bit %d = %v, want %v", i, b.Bit(i), w)
+		}
+	}
+	// Thresholds shift the cut point.
+	b2 := SignBinarize(v, []float32{2, -2, 2, -2})
+	want2 := []bool{false, true, false, true}
+	for i, w := range want2 {
+		if b2.Bit(i) != w {
+			t.Errorf("thresholded bit %d = %v, want %v", i, b2.Bit(i), w)
+		}
+	}
+}
+
+func TestHyperplaneBinarize(t *testing.T) {
+	planes := [][]float32{{1, 0}, {0, 1}, {-1, 0}}
+	b := HyperplaneBinarize([]float32{3, -2}, planes)
+	if !b.Bit(0) || b.Bit(1) || b.Bit(2) {
+		t.Fatalf("hyperplane code wrong: %v %v %v", b.Bit(0), b.Bit(1), b.Bit(2))
+	}
+	if b.Dim != 3 {
+		t.Fatalf("Dim = %d, want 3", b.Dim)
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	b := NewBinary(129)
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(128, true)
+	if got := b.PopCount(); got != 3 {
+		t.Fatalf("PopCount = %d, want 3", got)
+	}
+}

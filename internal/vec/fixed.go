@@ -1,0 +1,89 @@
+package vec
+
+// 32-bit fixed-point support (Section II-D of the paper: "we converted
+// each dataset to a 32-bit fixed-point representation ... negligible
+// accuracy loss between 32-bit floating-point and 32-bit fixed-point").
+//
+// The representation is Q16.16: value = raw / 65536. Feature vectors in
+// the paper's datasets (word embeddings, GIST, AlexNet activations) are
+// small-magnitude, so 16 integer bits are ample. Distance accumulation
+// is done in int64; with |raw diff| < 2^24 (values within ±128) and up
+// to 2^13 = 8192 dimensions, the squared-L2 accumulator stays below
+// 2^61 and cannot overflow.
+
+// FixedShift is the number of fractional bits in the Q16.16 format.
+const FixedShift = 16
+
+// FixedOne is the fixed-point encoding of 1.0.
+const FixedOne int32 = 1 << FixedShift
+
+// ToFixed converts a float to Q16.16 with rounding toward nearest.
+// Values outside the representable range saturate.
+func ToFixed(v float32) int32 {
+	f := float64(v) * float64(FixedOne)
+	switch {
+	case f >= 2147483647:
+		return 2147483647
+	case f <= -2147483648:
+		return -2147483648
+	case f >= 0:
+		return int32(f + 0.5)
+	default:
+		return int32(f - 0.5)
+	}
+}
+
+// FromFixed converts a Q16.16 value back to float32.
+func FromFixed(v int32) float32 {
+	return float32(v) / float32(FixedOne)
+}
+
+// ToFixedVec converts a float vector to Q16.16.
+func ToFixedVec(v []float32) []int32 {
+	out := make([]int32, len(v))
+	for i, x := range v {
+		out[i] = ToFixed(x)
+	}
+	return out
+}
+
+// FromFixedVec converts a Q16.16 vector back to float32.
+func FromFixedVec(v []int32) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = FromFixed(x)
+	}
+	return out
+}
+
+// SquaredL2Fixed returns the squared Euclidean distance between two
+// Q16.16 vectors, in raw units (the true squared distance times 2^32).
+// Since the scale factor is constant it preserves kNN ranking.
+func SquaredL2Fixed(a, b []int32) int64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	var acc int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		acc += d * d
+	}
+	return acc
+}
+
+// L1Fixed returns the Manhattan distance between two Q16.16 vectors in
+// raw units (true distance times 2^16).
+func L1Fixed(a, b []int32) int64 {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+	var acc int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		acc += d
+	}
+	return acc
+}

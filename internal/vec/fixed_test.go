@@ -1,0 +1,107 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedRoundTrip(t *testing.T) {
+	for _, v := range []float32{0, 1, -1, 0.5, -0.25, 3.14159, -127.5, 100.0} {
+		got := FromFixed(ToFixed(v))
+		if math.Abs(float64(got-v)) > 1.0/float64(FixedOne) {
+			t.Errorf("round trip %v -> %v, error too large", v, got)
+		}
+	}
+}
+
+func TestFixedSaturation(t *testing.T) {
+	if got := ToFixed(1e9); got != math.MaxInt32 {
+		t.Errorf("positive saturation = %d, want MaxInt32", got)
+	}
+	if got := ToFixed(-1e9); got != math.MinInt32 {
+		t.Errorf("negative saturation = %d, want MinInt32", got)
+	}
+}
+
+func TestFixedOneValue(t *testing.T) {
+	if ToFixed(1.0) != FixedOne {
+		t.Fatalf("ToFixed(1.0) = %d, want %d", ToFixed(1.0), FixedOne)
+	}
+}
+
+func TestSquaredL2FixedKnown(t *testing.T) {
+	a := ToFixedVec([]float32{1, 2})
+	b := ToFixedVec([]float32{4, 6})
+	// true squared distance 25; raw units are 2^32 per unit
+	want := int64(25) << 32
+	if got := SquaredL2Fixed(a, b); got != want {
+		t.Fatalf("SquaredL2Fixed = %d, want %d", got, want)
+	}
+}
+
+func TestL1FixedKnown(t *testing.T) {
+	a := ToFixedVec([]float32{1, -2})
+	b := ToFixedVec([]float32{-1, 2})
+	want := int64(6) << 16
+	if got := L1Fixed(a, b); got != want {
+		t.Fatalf("L1Fixed = %d, want %d", got, want)
+	}
+}
+
+// Property: fixed-point distances track float distances closely for
+// data in the feature-vector range (Section II-D's "negligible
+// accuracy loss" claim at the kernel level).
+func TestFixedTracksFloatQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := r.Intn(64) + 1
+		a, b := make([]float32, dim), make([]float32, dim)
+		for i := range a {
+			a[i] = float32(r.NormFloat64() * 4)
+			b[i] = float32(r.NormFloat64() * 4)
+		}
+		fl := SquaredL2(a, b)
+		fx := float64(SquaredL2Fixed(ToFixedVec(a), ToFixedVec(b))) / float64(1<<32)
+		return math.Abs(fl-fx) <= 1e-3*(1+fl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fixed-point ranking agrees with float ranking except in
+// genuine near-ties (differences below the quantization floor).
+func TestFixedRankingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := r.Intn(32) + 1
+		q, a, b := make([]float32, dim), make([]float32, dim), make([]float32, dim)
+		for i := 0; i < dim; i++ {
+			q[i] = float32(r.NormFloat64())
+			a[i] = float32(r.NormFloat64())
+			b[i] = float32(r.NormFloat64())
+		}
+		fa, fb := SquaredL2(q, a), SquaredL2(q, b)
+		if math.Abs(fa-fb) < 1e-3 { // near-tie: either order acceptable
+			return true
+		}
+		xa := SquaredL2Fixed(ToFixedVec(q), ToFixedVec(a))
+		xb := SquaredL2Fixed(ToFixedVec(q), ToFixedVec(b))
+		return (fa < fb) == (xa < xb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedVecRoundTrip(t *testing.T) {
+	in := []float32{0.25, -3.5, 7}
+	out := FromFixedVec(ToFixedVec(in))
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("index %d: %v != %v", i, out[i], in[i])
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package vec implements the distance kernels at the heart of k-nearest
+// neighbor search as characterized in Section II of the SSAM paper:
+// Euclidean (squared L2), Manhattan, cosine, Hamming, Chi-squared and
+// Jaccard distances over float32, 32-bit fixed-point and binarized
+// vector representations.
+//
+// All float kernels accumulate in float64 for stability and return
+// float64 so that the same top-k machinery can rank results from any
+// metric. Squared Euclidean distance is used in place of Euclidean
+// distance: it is monotone in the true distance, so nearest-neighbor
+// ranking is unchanged and the square root is avoided, exactly as real
+// kNN libraries (FLANN) do.
+package vec
+
+import "math"
+
+// Metric identifies a distance function. The zero value is Euclidean.
+type Metric int
+
+const (
+	// Euclidean is squared L2 distance (ranking-equivalent to L2).
+	Euclidean Metric = iota
+	// Manhattan is L1 distance.
+	Manhattan
+	// Cosine is cosine distance, 1 - cos(a, b).
+	Cosine
+	// HammingMetric is bit-difference count over binarized vectors.
+	HammingMetric
+	// ChiSquared is the Chi-squared histogram distance.
+	ChiSquared
+	// JaccardMetric is 1 - weighted Jaccard similarity.
+	JaccardMetric
+)
+
+// String returns the metric's conventional name.
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case Manhattan:
+		return "manhattan"
+	case Cosine:
+		return "cosine"
+	case HammingMetric:
+		return "hamming"
+	case ChiSquared:
+		return "chi2"
+	case JaccardMetric:
+		return "jaccard"
+	}
+	return "unknown"
+}
+
+// Distance dispatches to the float32 kernel for m. Hamming is not a
+// float metric; calling Distance with HammingMetric panics. Use
+// Hamming on binarized vectors instead.
+func Distance(m Metric, a, b []float32) float64 {
+	switch m {
+	case Euclidean:
+		return SquaredL2(a, b)
+	case Manhattan:
+		return L1(a, b)
+	case Cosine:
+		return CosineDistance(a, b)
+	case ChiSquared:
+		return Chi2(a, b)
+	case JaccardMetric:
+		return JaccardDistance(a, b)
+	}
+	panic("vec: no float kernel for metric " + m.String())
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+// The slices must have equal length.
+func SquaredL2(a, b []float32) float64 {
+	checkLen(a, b)
+	var acc float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		acc += d * d
+	}
+	return acc
+}
+
+// L1 returns the Manhattan distance between a and b.
+func L1(a, b []float32) float64 {
+	checkLen(a, b)
+	var acc float64
+	for i := range a {
+		acc += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return acc
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float64 {
+	checkLen(a, b)
+	var acc float64
+	for i := range a {
+		acc += float64(a[i]) * float64(b[i])
+	}
+	return acc
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 {
+	var acc float64
+	for _, v := range a {
+		acc += float64(v) * float64(v)
+	}
+	return math.Sqrt(acc)
+}
+
+// CosineDistance returns 1 - cos(a, b). A zero vector has undefined
+// cosine similarity; by convention its distance to anything is 1.
+func CosineDistance(a, b []float32) float64 {
+	checkLen(a, b)
+	var dot, na, nb float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+// Chi2 returns the Chi-squared distance, sum((a-b)^2 / (a+b)) over
+// dimensions where a+b != 0. It is intended for histogram-like
+// non-negative vectors.
+func Chi2(a, b []float32) float64 {
+	checkLen(a, b)
+	var acc float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		s := x + y
+		if s == 0 {
+			continue
+		}
+		d := x - y
+		acc += d * d / s
+	}
+	return acc
+}
+
+// JaccardDistance returns 1 - sum(min(a,b))/sum(max(a,b)), the weighted
+// Jaccard distance for non-negative vectors. Two zero vectors have
+// distance 0.
+func JaccardDistance(a, b []float32) float64 {
+	checkLen(a, b)
+	var num, den float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		if x < y {
+			num += x
+			den += y
+		} else {
+			num += y
+			den += x
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return 1 - num/den
+}
+
+func checkLen(a, b []float32) {
+	if len(a) != len(b) {
+		panic("vec: dimension mismatch")
+	}
+}

@@ -1,0 +1,192 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSquaredL2Known(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 6, 3}
+	if got := SquaredL2(a, b); got != 25 {
+		t.Fatalf("SquaredL2 = %v, want 25", got)
+	}
+}
+
+func TestL1Known(t *testing.T) {
+	a := []float32{1, -2, 3}
+	b := []float32{-1, 2, 3}
+	if got := L1(a, b); got != 6 {
+		t.Fatalf("L1 = %v, want 6", got)
+	}
+}
+
+func TestCosineKnown(t *testing.T) {
+	if got := CosineDistance([]float32{1, 0}, []float32{0, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("orthogonal cosine distance = %v, want 1", got)
+	}
+	if got := CosineDistance([]float32{2, 0}, []float32{5, 0}); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("parallel cosine distance = %v, want 0", got)
+	}
+	if got := CosineDistance([]float32{1, 0}, []float32{-3, 0}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("antiparallel cosine distance = %v, want 2", got)
+	}
+	if got := CosineDistance([]float32{0, 0}, []float32{1, 1}); got != 1 {
+		t.Fatalf("zero-vector cosine distance = %v, want 1", got)
+	}
+}
+
+func TestChi2Known(t *testing.T) {
+	a := []float32{1, 0, 2}
+	b := []float32{3, 0, 2}
+	// (1-3)^2/(1+3) = 1; zero-sum dim skipped; equal dim contributes 0.
+	if got := Chi2(a, b); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Chi2 = %v, want 1", got)
+	}
+}
+
+func TestJaccardKnown(t *testing.T) {
+	a := []float32{1, 2, 0}
+	b := []float32{2, 1, 0}
+	// min-sum = 2, max-sum = 4 -> distance 0.5
+	if got := JaccardDistance(a, b); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+	if got := JaccardDistance([]float32{0, 0}, []float32{0, 0}); got != 0 {
+		t.Fatalf("zero Jaccard = %v, want 0", got)
+	}
+}
+
+func TestDistanceDispatch(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{3, 5}
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{Euclidean, 13},
+		{Manhattan, 5},
+	}
+	for _, c := range cases {
+		if got := Distance(c.m, a, b); got != c.want {
+			t.Errorf("Distance(%v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestDistanceHammingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distance(HammingMetric, ...) did not panic")
+		}
+	}()
+	Distance(HammingMetric, []float32{1}, []float32{1})
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched dims did not panic")
+		}
+	}()
+	SquaredL2([]float32{1}, []float32{1, 2})
+}
+
+func TestMetricString(t *testing.T) {
+	names := map[Metric]string{
+		Euclidean: "euclidean", Manhattan: "manhattan", Cosine: "cosine",
+		HammingMetric: "hamming", ChiSquared: "chi2", JaccardMetric: "jaccard",
+		Metric(99): "unknown",
+	}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("Metric(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// Property: metric axioms that hold for our distance functions —
+// non-negativity, identity, symmetry.
+func TestMetricPropertiesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64, dimRaw uint8) bool {
+		dim := int(dimRaw%32) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVec(r, dim), randVec(r, dim)
+		for _, m := range []Metric{Euclidean, Manhattan, Cosine} {
+			dab := Distance(m, a, b)
+			dba := Distance(m, b, a)
+			if dab < -1e-9 {
+				return false
+			}
+			if !almostEqual(dab, dba, 1e-9) {
+				return false
+			}
+			if Distance(m, a, a) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for L1 and L2 (on the unsquared L2).
+func TestTriangleInequalityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := r.Intn(24) + 1
+		a, b, c := randVec(r, dim), randVec(r, dim), randVec(r, dim)
+		l2 := func(x, y []float32) float64 { return math.Sqrt(SquaredL2(x, y)) }
+		if l2(a, c) > l2(a, b)+l2(b, c)+1e-9 {
+			return false
+		}
+		if L1(a, c) > L1(a, b)+L1(b, c)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: squared L2 ranking agrees with true L2 ranking.
+func TestSquaredL2RankingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := r.Intn(16) + 1
+		q, a, b := randVec(r, dim), randVec(r, dim), randVec(r, dim)
+		sa, sb := SquaredL2(q, a), SquaredL2(q, b)
+		ta, tb := math.Sqrt(sa), math.Sqrt(sb)
+		return (sa < sb) == (ta < tb) || sa == sb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if got := Dot([]float32{1, 2, 3}, []float32{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Norm([]float32{3, 4}); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+}

@@ -1,0 +1,536 @@
+package ssam
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ssam/internal/kdtree"
+	"ssam/internal/kmeans"
+	"ssam/internal/knn"
+	"ssam/internal/lsh"
+	"ssam/internal/ssamdev"
+	"ssam/internal/topk"
+	"ssam/internal/vec"
+)
+
+// ErrFreed is returned by operations on a freed region.
+var ErrFreed = errors.New("ssam: region has been freed")
+
+// Region is an SSAM-enabled memory region (the nbuf of Fig. 4). It is
+// not safe for concurrent mutation; concurrent Search calls are safe
+// once the index is built.
+type Region struct {
+	cfg  Config
+	dims int
+
+	data   []float32    // float datasets
+	codes  []vec.Binary // Hamming datasets
+	loaded bool
+	built  bool
+	freed  bool
+
+	// Host engines/indexes (built lazily by BuildIndex).
+	linear  *knn.Engine
+	hamming *knn.HammingEngine
+	forest  *kdtree.Forest
+	kmTree  *kmeans.Tree
+	mplsh   *lsh.Index
+
+	// Simulated device (Device execution) and its on-device indexes.
+	device    *ssamdev.Device
+	devTree   *ssamdev.TreeIndex
+	devKMTree *ssamdev.KMTreeIndex
+	devLSH    *ssamdev.LSHIndex
+	devChecks int // per-PU scan budget for device tree indexes
+
+	lastStats DeviceStats
+	query     []float32
+	queryBin  vec.Binary
+	lastRes   []Result
+}
+
+// New allocates an SSAM-enabled region for vectors of the given
+// dimensionality (nmalloc + nmode).
+func New(dims int, cfg Config) (*Region, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("ssam: dims must be positive, got %d", dims)
+	}
+	if cfg.VectorLength == 0 {
+		cfg.VectorLength = 8
+	}
+	switch cfg.VectorLength {
+	case 2, 4, 8, 16:
+	default:
+		return nil, fmt.Errorf("ssam: vector length %d not in {2,4,8,16}", cfg.VectorLength)
+	}
+	if cfg.Metric == Hamming && cfg.Mode != Linear {
+		return nil, fmt.Errorf("ssam: Hamming regions support Linear mode only")
+	}
+	if cfg.Execution == Device && cfg.Mode != Linear && cfg.Metric != Euclidean {
+		return nil, fmt.Errorf("ssam: device %v indexing requires the Euclidean metric", cfg.Mode)
+	}
+	if cfg.Mode != Linear && cfg.Metric != Euclidean {
+		return nil, fmt.Errorf("ssam: %v indexing requires the Euclidean metric", cfg.Mode)
+	}
+	return &Region{cfg: cfg, dims: dims}, nil
+}
+
+// Dims returns the region's vector dimensionality (bits for Hamming).
+func (r *Region) Dims() int { return r.dims }
+
+// Len returns the number of loaded vectors.
+func (r *Region) Len() int {
+	if r.codes != nil {
+		return len(r.codes)
+	}
+	return len(r.data) / r.dims
+}
+
+// LoadFloat32 copies a flattened row-major dataset into the region
+// (nmemcpy). Not valid for Hamming regions.
+func (r *Region) LoadFloat32(data []float32) error {
+	if r.freed {
+		return ErrFreed
+	}
+	if r.cfg.Metric == Hamming {
+		return errors.New("ssam: LoadFloat32 on a Hamming region; use LoadBinary")
+	}
+	if len(data) == 0 || len(data)%r.dims != 0 {
+		return fmt.Errorf("ssam: data length %d not a positive multiple of dims %d", len(data), r.dims)
+	}
+	r.data = append([]float32(nil), data...)
+	r.loaded, r.built = true, false
+	return nil
+}
+
+// LoadBinary copies bit-packed codes into a Hamming region.
+func (r *Region) LoadBinary(codes []BinaryCode) error {
+	if r.freed {
+		return ErrFreed
+	}
+	if r.cfg.Metric != Hamming {
+		return errors.New("ssam: LoadBinary on a non-Hamming region")
+	}
+	if len(codes) == 0 {
+		return errors.New("ssam: empty code set")
+	}
+	for _, c := range codes {
+		if c.Dim != r.dims {
+			return fmt.Errorf("ssam: code width %d, want %d", c.Dim, r.dims)
+		}
+	}
+	r.codes = append([]BinaryCode(nil), codes...)
+	r.loaded, r.built = true, false
+	return nil
+}
+
+// NewBinaryCode returns an empty code of the region's width, for
+// assembling Hamming queries.
+func NewBinaryCode(bits int) BinaryCode { return vec.NewBinary(bits) }
+
+// BuildIndex constructs the region's search structures
+// (nbuild_index). For Device execution it lays the dataset out across
+// the simulated module's vaults and assembles the kernels.
+func (r *Region) BuildIndex() error {
+	if r.freed {
+		return ErrFreed
+	}
+	if !r.loaded {
+		return errors.New("ssam: BuildIndex before load")
+	}
+	workers := r.cfg.Workers
+	ip := r.cfg.Index
+
+	if r.cfg.Execution == Device {
+		devCfg := ssamdev.DefaultConfig(r.cfg.VectorLength)
+		var err error
+		if r.cfg.Metric == Hamming {
+			r.device, err = ssamdev.NewBinary(devCfg, r.codes)
+		} else {
+			r.device, err = ssamdev.NewFloat(devCfg, r.data, r.dims, r.cfg.Metric.toVec())
+		}
+		if err != nil {
+			return err
+		}
+		leaf := ip.LeafSize
+		if leaf <= 0 {
+			leaf = 8
+		}
+		r.devChecks = ip.Checks
+		if r.devChecks <= 0 {
+			r.devChecks = 32
+		}
+		switch r.cfg.Mode {
+		case Linear:
+		case KDTree:
+			r.devTree, err = r.device.BuildKDTreeIndex(leaf)
+		case KMeans:
+			branching := ip.Branching
+			if branching <= 0 {
+				branching = 4
+			}
+			r.devKMTree, err = r.device.BuildKMTreeIndex(branching, leaf, ip.Seed+1)
+		case MPLSH:
+			bits := ip.Bits
+			if bits <= 0 || bits > 12 {
+				bits = 6
+			}
+			tables := ip.Tables
+			if tables <= 0 {
+				tables = 4
+			}
+			r.devLSH, err = r.device.BuildLSHIndex(tables, bits, ip.Seed+1)
+			if err == nil && ip.Probes > 1 {
+				r.devLSH.MultiProbe = true
+			}
+		default:
+			err = fmt.Errorf("ssam: unknown mode %v", r.cfg.Mode)
+		}
+		if err != nil {
+			return err
+		}
+		r.built = true
+		return nil
+	}
+
+	switch r.cfg.Mode {
+	case Linear:
+		if r.cfg.Metric == Hamming {
+			r.hamming = knn.NewHammingEngine(r.codes, workers)
+		} else {
+			r.linear = knn.NewEngine(r.data, r.dims, r.cfg.Metric.toVec(), workers)
+		}
+	case KDTree:
+		p := kdtree.DefaultParams()
+		if ip.Trees > 0 {
+			p.NumTrees = ip.Trees
+		}
+		if ip.LeafSize > 0 {
+			p.LeafSize = ip.LeafSize
+		}
+		if ip.Seed != 0 {
+			p.Seed = ip.Seed
+		}
+		r.forest = kdtree.Build(r.data, r.dims, p)
+		if ip.Checks > 0 {
+			r.forest.Checks = ip.Checks
+		}
+	case KMeans:
+		p := kmeans.DefaultParams()
+		if ip.Branching > 0 {
+			p.Branching = ip.Branching
+		}
+		if ip.LeafSize > 0 {
+			p.LeafSize = ip.LeafSize
+		}
+		if ip.Seed != 0 {
+			p.Seed = ip.Seed
+		}
+		r.kmTree = kmeans.Build(r.data, r.dims, p)
+		if ip.Checks > 0 {
+			r.kmTree.Checks = ip.Checks
+		}
+	case MPLSH:
+		p := lsh.DefaultParams()
+		if ip.Tables > 0 {
+			p.Tables = ip.Tables
+		}
+		if ip.Bits > 0 {
+			p.Bits = ip.Bits
+		}
+		if ip.Seed != 0 {
+			p.Seed = ip.Seed
+		}
+		r.mplsh = lsh.Build(r.data, r.dims, p)
+		if ip.Probes > 0 {
+			r.mplsh.Probes = ip.Probes
+		}
+	default:
+		return fmt.Errorf("ssam: unknown mode %v", r.cfg.Mode)
+	}
+	r.built = true
+	return nil
+}
+
+// SetChecks adjusts the accuracy/throughput knob of a built tree index
+// (Checks) or MPLSH index (Probes) without rebuilding.
+func (r *Region) SetChecks(n int) error {
+	if r.freed {
+		return ErrFreed
+	}
+	if n <= 0 {
+		return fmt.Errorf("ssam: checks must be positive")
+	}
+	switch {
+	case r.forest != nil:
+		r.forest.Checks = n
+	case r.kmTree != nil:
+		r.kmTree.Checks = n
+	case r.mplsh != nil:
+		r.mplsh.Probes = n
+	case r.devTree != nil || r.devKMTree != nil:
+		r.devChecks = n
+	default:
+		return errors.New("ssam: SetChecks on a non-indexed region")
+	}
+	return nil
+}
+
+// WriteQuery stages a float query (nwrite_query).
+func (r *Region) WriteQuery(q []float32) error {
+	if r.freed {
+		return ErrFreed
+	}
+	if r.cfg.Metric == Hamming {
+		return errors.New("ssam: float query on a Hamming region")
+	}
+	if len(q) != r.dims {
+		return fmt.Errorf("ssam: query dim %d, want %d", len(q), r.dims)
+	}
+	r.query = append(r.query[:0], q...)
+	return nil
+}
+
+// WriteQueryBinary stages a Hamming query.
+func (r *Region) WriteQueryBinary(q BinaryCode) error {
+	if r.freed {
+		return ErrFreed
+	}
+	if r.cfg.Metric != Hamming {
+		return errors.New("ssam: binary query on a non-Hamming region")
+	}
+	if q.Dim != r.dims {
+		return fmt.Errorf("ssam: query width %d, want %d", q.Dim, r.dims)
+	}
+	r.queryBin = q
+	return nil
+}
+
+// Exec runs the staged query for the k nearest neighbors (nexec).
+func (r *Region) Exec(k int) error {
+	if r.freed {
+		return ErrFreed
+	}
+	if !r.built {
+		return errors.New("ssam: Exec before BuildIndex")
+	}
+	if k <= 0 {
+		return fmt.Errorf("ssam: k must be positive")
+	}
+	if r.cfg.Metric == Hamming && r.queryBin.Words == nil {
+		return errors.New("ssam: Exec before WriteQueryBinary")
+	}
+	if r.cfg.Metric != Hamming && r.query == nil {
+		return errors.New("ssam: Exec before WriteQuery")
+	}
+
+	if r.device != nil {
+		var res []topk.Result
+		var st ssamdev.QueryStats
+		var err error
+		if r.cfg.Metric == Hamming {
+			res, st, err = r.device.SearchBinary(r.queryBin, k)
+			if err != nil {
+				return err
+			}
+			r.lastRes = res
+			r.lastStats = toDeviceStats(st)
+			return nil
+		}
+		res, st, err = r.deviceSearchRaw(r.query, k)
+		if err != nil {
+			return err
+		}
+		r.lastRes = res
+		r.lastStats = toDeviceStats(st)
+		return nil
+	}
+
+	switch {
+	case r.hamming != nil:
+		r.lastRes = r.hamming.Search(r.queryBin, k)
+	case r.linear != nil:
+		r.lastRes = r.linear.Search(r.query, k)
+	case r.forest != nil:
+		r.lastRes = r.forest.Search(r.query, k)
+	case r.kmTree != nil:
+		r.lastRes = r.kmTree.Search(r.query, k)
+	case r.mplsh != nil:
+		r.lastRes = r.mplsh.Search(r.query, k)
+	default:
+		return errors.New("ssam: no engine built")
+	}
+	r.lastStats = DeviceStats{}
+	return nil
+}
+
+// ReadResult returns the last Exec's neighbors (nread_result).
+func (r *Region) ReadResult() ([]Result, error) {
+	if r.freed {
+		return nil, ErrFreed
+	}
+	if r.lastRes == nil {
+		return nil, errors.New("ssam: ReadResult before Exec")
+	}
+	out := make([]Result, len(r.lastRes))
+	copy(out, r.lastRes)
+	return out, nil
+}
+
+// Search is the convenience wrapper: WriteQuery + Exec + ReadResult.
+func (r *Region) Search(q []float32, k int) ([]Result, error) {
+	if err := r.WriteQuery(q); err != nil {
+		return nil, err
+	}
+	if err := r.Exec(k); err != nil {
+		return nil, err
+	}
+	return r.ReadResult()
+}
+
+// SearchBinary is Search for Hamming regions.
+func (r *Region) SearchBinary(q BinaryCode, k int) ([]Result, error) {
+	if err := r.WriteQueryBinary(q); err != nil {
+		return nil, err
+	}
+	if err := r.Exec(k); err != nil {
+		return nil, err
+	}
+	return r.ReadResult()
+}
+
+// SearchBatch answers one query per element of qs. Host execution
+// fans the batch out across worker goroutines (the index structures
+// are read-only at query time); Device execution serves the batch
+// sequentially — the module broadcasts one query at a time, and as the
+// paper notes, batching buys little on a device that already saturates
+// its internal bandwidth per query. After a Device batch, LastStats
+// holds the accumulated execution.
+func (r *Region) SearchBatch(qs [][]float32, k int) ([][]Result, error) {
+	if r.freed {
+		return nil, ErrFreed
+	}
+	if !r.built {
+		return nil, errors.New("ssam: SearchBatch before BuildIndex")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ssam: k must be positive")
+	}
+	for _, q := range qs {
+		if len(q) != r.dims {
+			return nil, fmt.Errorf("ssam: query dim %d, want %d", len(q), r.dims)
+		}
+	}
+	out := make([][]Result, len(qs))
+
+	if r.device != nil {
+		var agg DeviceStats
+		for i, q := range qs {
+			res, st, err := r.deviceSearch(q, k)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+			agg.Cycles += st.Cycles
+			agg.Seconds += st.Seconds
+			agg.Instructions += st.Instructions
+			agg.VectorInstructions += st.VectorInsts
+			agg.DRAMBytesRead += st.DRAMBytesRead
+			agg.ProcessingUnits = st.PUs
+		}
+		r.lastStats = agg
+		return out, nil
+	}
+
+	search := r.hostSearcher()
+	if search == nil {
+		return nil, errors.New("ssam: no engine built")
+	}
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = search(qs[i], k)
+			}
+		}()
+	}
+	for i := range qs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out, nil
+}
+
+// deviceSearchRaw dispatches a float query to the device's built
+// engine (linear scan or on-device index).
+func (r *Region) deviceSearchRaw(q []float32, k int) ([]topk.Result, ssamdev.QueryStats, error) {
+	switch {
+	case r.devTree != nil:
+		return r.devTree.Search(q, k, r.devChecks)
+	case r.devKMTree != nil:
+		return r.devKMTree.Search(q, k, r.devChecks)
+	case r.devLSH != nil:
+		return r.devLSH.Search(q, k)
+	default:
+		return r.device.Search(q, k)
+	}
+}
+
+// deviceSearch is deviceSearchRaw with stats converted for batching.
+func (r *Region) deviceSearch(q []float32, k int) ([]Result, ssamdev.QueryStats, error) {
+	res, st, err := r.deviceSearchRaw(q, k)
+	return res, st, err
+}
+
+func toDeviceStats(st ssamdev.QueryStats) DeviceStats {
+	return DeviceStats{
+		Cycles:             st.Cycles,
+		Seconds:            st.Seconds,
+		Instructions:       st.Instructions,
+		VectorInstructions: st.VectorInsts,
+		DRAMBytesRead:      st.DRAMBytesRead,
+		ProcessingUnits:    st.PUs,
+	}
+}
+
+// hostSearcher returns the built host engine's query function, or nil.
+func (r *Region) hostSearcher() func([]float32, int) []Result {
+	switch {
+	case r.linear != nil:
+		return r.linear.Search
+	case r.forest != nil:
+		return r.forest.Search
+	case r.kmTree != nil:
+		return r.kmTree.Search
+	case r.mplsh != nil:
+		return r.mplsh.Search
+	}
+	return nil
+}
+
+// LastStats returns the simulated device stats of the last Exec.
+func (r *Region) LastStats() DeviceStats { return r.lastStats }
+
+// Device exposes the underlying simulated module (nil for Host
+// execution) for benchmarking and model queries.
+func (r *Region) Device() *ssamdev.Device { return r.device }
+
+// Free releases the region (nfree). Further operations return
+// ErrFreed.
+func (r *Region) Free() {
+	r.freed = true
+	r.data, r.codes = nil, nil
+	r.linear, r.hamming, r.forest, r.kmTree, r.mplsh = nil, nil, nil, nil, nil
+	r.device, r.devTree, r.devKMTree, r.devLSH = nil, nil, nil, nil
+	r.lastRes, r.query = nil, nil
+}

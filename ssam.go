@@ -1,0 +1,174 @@
+// Package ssam is a Go reproduction of the Similarity Search
+// Associative Memory (Lee et al., "Application Codesign of Near-Data
+// Processing for Similarity Search", IPDPS 2018): a near-data kNN
+// accelerator built on the Hybrid Memory Cube, together with the exact
+// and approximate k-nearest-neighbor algorithm suite it is evaluated
+// against.
+//
+// The public API mirrors the paper's SSAM-enabled memory-region driver
+// interface (Fig. 4): allocate a region, set its indexing mode, copy a
+// dataset in, build the index, then run queries — either on the host
+// (real Go implementations of linear search, randomized kd-trees,
+// hierarchical k-means trees, and hyperplane multi-probe LSH) or on
+// the simulated SSAM device (handwritten Table II kernels executing on
+// a cycle-level processing-unit simulator over an HMC 2.0 bandwidth
+// model).
+//
+//	region, err := ssam.New(dims, ssam.Config{Mode: ssam.Linear, Execution: ssam.Device})
+//	err = region.LoadFloat32(dataset)          // nmemcpy
+//	err = region.BuildIndex()                  // nbuild_index
+//	results, err := region.Search(query, k)    // nwrite_query + nexec + nread_result
+//	stats := region.LastStats()                // simulated device timing
+//	region.Free()                              // nfree
+package ssam
+
+import (
+	"ssam/internal/topk"
+	"ssam/internal/vec"
+)
+
+// Result is one neighbor: database id and distance under the region's
+// metric (smaller is closer; Euclidean reports squared distance).
+type Result = topk.Result
+
+// BinaryCode is a bit-packed Hamming-space vector for binary regions
+// (Section II-D's binarized representation). Construct with
+// NewBinaryCode and set bits with Set; vec-package helpers like
+// SignBinarize also produce it.
+type BinaryCode = vec.Binary
+
+// Metric selects the distance function.
+type Metric int
+
+// Supported metrics (Section II-D of the paper).
+const (
+	Euclidean Metric = iota
+	Manhattan
+	Cosine
+	Hamming
+)
+
+// String returns the metric name.
+func (m Metric) String() string { return m.toVec().String() }
+
+func (m Metric) toVec() vec.Metric {
+	switch m {
+	case Euclidean:
+		return vec.Euclidean
+	case Manhattan:
+		return vec.Manhattan
+	case Cosine:
+		return vec.Cosine
+	case Hamming:
+		return vec.HammingMetric
+	}
+	return vec.Euclidean
+}
+
+// Mode is the region's indexing mode (the nmode call of Fig. 4).
+type Mode int
+
+const (
+	// Linear scans the whole region per query (exact search).
+	Linear Mode = iota
+	// KDTree builds a randomized kd-tree forest (FLANN-style).
+	KDTree
+	// KMeans builds a hierarchical k-means tree (FLANN-style).
+	KMeans
+	// MPLSH builds hyperplane multi-probe LSH tables (FALCONN-style).
+	MPLSH
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Linear:
+		return "linear"
+	case KDTree:
+		return "kdtree"
+	case KMeans:
+		return "kmeans"
+	case MPLSH:
+		return "mplsh"
+	}
+	return "unknown"
+}
+
+// Execution selects where queries run.
+type Execution int
+
+const (
+	// Host runs queries on the local CPU with the Go implementations.
+	Host Execution = iota
+	// Device runs queries through the simulated SSAM module: data is
+	// quantized to device fixed point, laid out across HMC vaults, and
+	// served by assembled Table II kernels on the cycle simulator —
+	// linear scans, or (for the Euclidean metric) the on-device
+	// indexes: scratchpad-resident kd-trees and hierarchical k-means
+	// trees traversed with the hardware stack unit, and hyperplane LSH
+	// with hash weights in device memory. For device tree indexes,
+	// IndexParams.Checks is the per-processing-unit scan budget.
+	Device
+)
+
+// IndexParams tunes the approximate indexes. Zero values select
+// defaults matching the paper's characterization setup.
+type IndexParams struct {
+	// Trees is the kd-forest size (default 4).
+	Trees int
+	// Branching is the k-means tree fanout (default 16).
+	Branching int
+	// LeafSize bounds bucket sizes for tree indexes.
+	LeafSize int
+	// Tables and Bits configure MPLSH (defaults 4 tables, 20 bits —
+	// the paper's hyperplane count).
+	Tables int
+	Bits   int
+	// Checks bounds vectors scored per tree query; Probes bounds
+	// buckets probed per LSH table. Sweeping them trades accuracy for
+	// throughput (Fig. 2).
+	Checks int
+	Probes int
+	// Seed makes index construction reproducible.
+	Seed int64
+}
+
+// Config configures a region at allocation time.
+type Config struct {
+	Metric    Metric
+	Mode      Mode
+	Execution Execution
+	// VectorLength selects the SSAM-n device variant (2, 4, 8 or 16)
+	// for Device execution; default 8.
+	VectorLength int
+	// Workers bounds host-side parallelism; 0 uses all cores.
+	Workers int
+	// Index tunes approximate modes.
+	Index IndexParams
+}
+
+// DeviceStats reports the simulated execution of the last Device-mode
+// query (zero for Host execution).
+type DeviceStats struct {
+	// Cycles is the slowest processing unit's cycle count (device
+	// latency) and Seconds its wall-clock equivalent at the device
+	// clock.
+	Cycles  uint64
+	Seconds float64
+	// Instructions and VectorInstructions are summed over all
+	// processing units.
+	Instructions       uint64
+	VectorInstructions uint64
+	// DRAMBytesRead is the total vault traffic.
+	DRAMBytesRead uint64
+	// ProcessingUnits is the module's total PU count.
+	ProcessingUnits int
+}
+
+// Throughput returns queries/second implied by the device latency.
+func (s DeviceStats) Throughput() float64 {
+	if s.Seconds <= 0 {
+		return 0
+	}
+	return 1 / s.Seconds
+}
