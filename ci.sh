@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's tier-1 gate. Every PR must leave this green:
+#   gofmt clean, vet clean, everything builds, all tests pass under
+#   the race detector.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+echo "ci.sh: all green"

@@ -1,0 +1,248 @@
+// Command ssam-loadgen drives an ssam-serve instance with measurable
+// load, the serving-side counterpart of the paper's throughput
+// characterization: closed-loop (a fixed worker pool issuing
+// back-to-back queries, measuring saturation throughput) or open-loop
+// (Poisson arrivals at a target rate, measuring latency under load
+// without coordinated omission).
+//
+//	ssam-loadgen -setup -n 20000 -dims 100 -duration 10s -concurrency 32
+//	ssam-loadgen -loop open -rate 2000 -duration 30s -retries 0
+//
+// With -retries 0, shed load (503) is reported as such instead of
+// being retried, making the server's admission control visible.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssam/internal/client"
+	"ssam/internal/dataset"
+	"ssam/internal/server/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	region := flag.String("region", "bench", "region name to query")
+	setup := flag.Bool("setup", true, "create/load/build the region before driving load")
+	n := flag.Int("n", 20000, "dataset rows for -setup")
+	dims := flag.Int("dims", 100, "vector dimensionality for -setup")
+	clusters := flag.Int("clusters", 64, "mixture components for -setup")
+	mode := flag.String("mode", "linear", "indexing mode for -setup")
+	k := flag.Int("k", 6, "neighbors per query")
+	loop := flag.String("loop", "closed", "load model: closed (worker pool) or open (Poisson arrivals)")
+	concurrency := flag.Int("concurrency", 16, "closed-loop workers / open-loop in-flight cap")
+	rate := flag.Float64("rate", 1000, "open-loop target arrival rate (queries/sec)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement length")
+	retries := flag.Int("retries", 0, "client retry budget on shed load")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 1, "query-stream seed")
+	flag.Parse()
+
+	c := client.New(*addr, client.WithTimeout(*timeout), client.WithRetries(*retries))
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		log.Fatalf("server not reachable at %s: %v", *addr, err)
+	}
+
+	spec := dataset.Spec{
+		Name: *region, N: *n, Dim: *dims, NumQueries: 2048, K: *k,
+		Clusters: *clusters, ClusterStd: 0.3, Seed: *seed,
+	}
+	ds := dataset.Generate(spec)
+
+	if *setup {
+		if err := setupRegion(ctx, c, *region, ds, *mode); err != nil {
+			log.Fatalf("setup: %v", err)
+		}
+	}
+
+	log.Printf("%s-loop against %s/regions/%s: k=%d, %v", *loop, *addr, *region, *k, *duration)
+	var res runResult
+	switch *loop {
+	case "closed":
+		res = closedLoop(ctx, c, *region, ds.Queries, *k, *concurrency, *duration)
+	case "open":
+		res = openLoop(ctx, c, *region, ds.Queries, *k, *rate, *concurrency, *duration, *seed)
+	default:
+		log.Fatalf("unknown -loop %q (want closed or open)", *loop)
+	}
+	res.report(os.Stdout)
+
+	if stats, err := c.Stats(ctx); err == nil {
+		if rs, ok := stats.Regions[*region]; ok && rs.Batches > 0 {
+			fmt.Printf("server: %d queries in %d batches (avg %.1f, max %d), queue depth %d, server p99 %.2fms\n",
+				rs.Queries, rs.Batches, float64(rs.Queries)/float64(rs.Batches),
+				rs.MaxBatchSeen, rs.QueueDepth, rs.LatencyP99Ms)
+		}
+	}
+}
+
+func setupRegion(ctx context.Context, c *client.Client, name string, ds *dataset.Dataset, mode string) error {
+	_, err := c.CreateRegion(ctx, name, ds.Dim(), wire.RegionConfig{Mode: mode})
+	var se *client.StatusError
+	if errors.As(err, &se) && se.Code == 409 {
+		log.Printf("region %q already exists; reloading", name)
+	} else if err != nil {
+		return err
+	}
+	rows := make([][]float32, ds.N())
+	for i := range rows {
+		rows[i] = ds.Row(i)
+	}
+	const chunk = 20000
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := min(lo+chunk, len(rows))
+		var err error
+		if lo == 0 {
+			_, err = c.Load(ctx, name, rows[lo:hi])
+		} else {
+			_, err = c.LoadAppend(ctx, name, rows[lo:hi])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	if _, err := c.Build(ctx, name); err != nil {
+		return err
+	}
+	log.Printf("built %q: %d x %d in %v", name, ds.N(), ds.Dim(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runResult aggregates one measurement run.
+type runResult struct {
+	model     string
+	elapsed   time.Duration
+	attempted uint64
+	ok        uint64
+	shed      uint64 // ErrOverloaded after the retry budget
+	failed    uint64 // any other error
+	dropped   uint64 // open loop only: arrivals past the in-flight cap
+	latencies []time.Duration
+}
+
+func (r *runResult) report(w *os.File) {
+	fmt.Fprintf(w, "%s loop: %v elapsed\n", r.model, r.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  attempted %d, ok %d, shed(503) %d, failed %d", r.attempted, r.ok, r.shed, r.failed)
+	if r.dropped > 0 {
+		fmt.Fprintf(w, ", dropped-at-client %d", r.dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  throughput %.1f ok-queries/sec\n", float64(r.ok)/r.elapsed.Seconds())
+	if len(r.latencies) == 0 {
+		return
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(r.latencies)-1))
+		return r.latencies[i]
+	}
+	fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+}
+
+// collector accumulates outcomes from concurrent issuers.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        atomic.Uint64
+	shed      atomic.Uint64
+	failed    atomic.Uint64
+}
+
+func (col *collector) observe(err error, lat time.Duration) {
+	switch {
+	case err == nil:
+		col.ok.Add(1)
+		col.mu.Lock()
+		col.latencies = append(col.latencies, lat)
+		col.mu.Unlock()
+	case errors.Is(err, client.ErrOverloaded):
+		col.shed.Add(1)
+	default:
+		col.failed.Add(1)
+	}
+}
+
+// closedLoop runs workers back to back: measures saturation
+// throughput at a fixed multiprogramming level.
+func closedLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k, workers int, d time.Duration) runResult {
+	var col collector
+	var attempted atomic.Uint64
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				attempted.Add(1)
+				qStart := time.Now()
+				_, err := c.Search(ctx, region, queries[i%len(queries)], k)
+				col.observe(err, time.Since(qStart))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return runResult{
+		model: "closed", elapsed: time.Since(start),
+		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
+		failed: col.failed.Load(), latencies: col.latencies,
+	}
+}
+
+// openLoop issues arrivals on a Poisson process at the target rate,
+// regardless of completions (no coordinated omission); a bounded
+// in-flight cap keeps a melting server from exhausting the client.
+func openLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k int, rate float64, maxInFlight int, d time.Duration, seed int64) runResult {
+	var col collector
+	var attempted, dropped atomic.Uint64
+	rng := rand.New(rand.NewSource(seed))
+	inflight := make(chan struct{}, maxInFlight)
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; ; i++ {
+		// Exponential inter-arrival → Poisson process.
+		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		now := time.Now()
+		if now.Add(wait).After(deadline) {
+			break
+		}
+		time.Sleep(wait)
+		select {
+		case inflight <- struct{}{}:
+		default:
+			dropped.Add(1)
+			continue
+		}
+		attempted.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			qStart := time.Now()
+			_, err := c.Search(ctx, region, queries[i%len(queries)], k)
+			col.observe(err, time.Since(qStart))
+		}(i)
+	}
+	wg.Wait()
+	return runResult{
+		model: "open", elapsed: time.Since(start),
+		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
+		failed: col.failed.Load(), dropped: dropped.Load(), latencies: col.latencies,
+	}
+}

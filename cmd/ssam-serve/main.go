@@ -1,0 +1,166 @@
+// Command ssam-serve stands up the SSAM query server: named regions
+// behind HTTP/JSON with micro-batching, admission control, and
+// /statsz metrics (see internal/server).
+//
+//	ssam-serve -addr :8080 -max-inflight 256 -batch-window 2ms
+//	ssam-serve -preload glove:0.01            # serve a ready-built region
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the server first sheds new
+// search traffic with 503 (clients fail over), then drains in-flight
+// batches before exiting.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssam"
+	"ssam/internal/dataset"
+	"ssam/internal/server"
+	"ssam/internal/server/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInFlight := flag.Int("max-inflight", 256, "admitted search requests before shedding 503s")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batcher coalescing window")
+	maxBatch := flag.Int("max-batch", 64, "micro-batcher size cap")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed load")
+	preload := flag.String("preload", "", "serve a ready-built region: dataset[:scale], dataset in {glove,gist,alexnet}")
+	preloadMode := flag.String("preload-mode", "linear", "indexing mode for the preloaded region")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		MaxInFlight: *maxInFlight,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		RetryAfter:  *retryAfter,
+	})
+
+	if *preload != "" {
+		if err := preloadRegion(srv, *preload, *preloadMode); err != nil {
+			log.Fatalf("preload %q: %v", *preload, err)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ssam-serve listening on %s (max-inflight=%d window=%v max-batch=%d)",
+		*addr, *maxInFlight, *batchWindow, *maxBatch)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: shedding new traffic, draining in-flight batches")
+	srv.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// preloadRegion builds a synthetic paper workload directly into the
+// registry (via the server's own HTTP surface is wasteful for a
+// million rows, so this goes through an in-process request cycle only
+// for create, then loads and builds through the same handlers the
+// wire uses — keeping one code path).
+func preloadRegion(srv *server.Server, arg, mode string) error {
+	name, scale := arg, 0.01
+	if i := strings.IndexByte(arg, ':'); i >= 0 {
+		name = arg[:i]
+		s, err := strconv.ParseFloat(arg[i+1:], 64)
+		if err != nil {
+			return fmt.Errorf("bad scale: %v", err)
+		}
+		scale = s
+	}
+	var spec dataset.Spec
+	switch name {
+	case "glove":
+		spec = dataset.GloVeSpec(scale)
+	case "gist":
+		spec = dataset.GISTSpec(scale)
+	case "alexnet":
+		spec = dataset.AlexNetSpec(scale)
+	default:
+		return fmt.Errorf("unknown dataset %q (want glove, gist or alexnet)", name)
+	}
+	if _, err := ssam.ParseMode(mode); err != nil {
+		return err
+	}
+	log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s", name, spec.N, spec.Dim, scale, mode)
+	ds := dataset.Generate(spec)
+
+	rows := make([][]float32, ds.N())
+	for i := range rows {
+		rows[i] = ds.Row(i)
+	}
+	if err := roundTrip(srv, "POST", "/regions", wire.CreateRegionRequest{
+		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode},
+	}); err != nil {
+		return err
+	}
+	// Load in chunks so a full-scale preload doesn't marshal one giant
+	// JSON body.
+	const chunk = 50000
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := min(lo+chunk, len(rows))
+		if err := roundTrip(srv, "POST", "/regions/"+name+"/load", wire.LoadRequest{
+			Vectors: rows[lo:hi], Append: lo > 0,
+		}); err != nil {
+			return err
+		}
+	}
+	if err := roundTrip(srv, "POST", "/regions/"+name+"/build", nil); err != nil {
+		return err
+	}
+	log.Printf("preloaded region %q ready", name)
+	return nil
+}
+
+// roundTrip drives the server's handler in-process with a synthetic
+// request, so preloading exercises the same validation as the wire.
+func roundTrip(srv *server.Server, method, path string, body any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(method, path, rd))
+	if rec.Code >= 300 {
+		return fmt.Errorf("%s %s: status %d: %s", method, path, rec.Code, strings.TrimSpace(rec.Body.String()))
+	}
+	return nil
+}

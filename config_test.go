@@ -1,0 +1,78 @@
+package ssam
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNewRejectsOutOfRangeEnums pins the fix for the silent-default
+// bug: unknown Metric/Mode/Execution values used to fall through to
+// Euclidean/Linear/Host instead of being rejected.
+func TestNewRejectsOutOfRangeEnums(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"metric high", Config{Metric: Hamming + 1}, "metric"},
+		{"metric negative", Config{Metric: -1}, "metric"},
+		{"mode high", Config{Mode: MPLSH + 1}, "mode"},
+		{"mode negative", Config{Mode: -1}, "mode"},
+		{"execution high", Config{Execution: Device + 1}, "execution"},
+		{"execution negative", Config{Execution: -1}, "execution"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(8, tc.cfg); err == nil {
+				t.Fatalf("New accepted %+v", tc.cfg)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := New(8, Config{Metric: Cosine, Mode: Linear}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if s := (Hamming + 1).String(); s != "unknown" {
+		t.Fatalf("out-of-range Metric.String() = %q, want unknown", s)
+	}
+	if s := (MPLSH + 1).String(); s != "unknown" {
+		t.Fatalf("out-of-range Mode.String() = %q, want unknown", s)
+	}
+	if s := (Device + 1).String(); s != "unknown" {
+		t.Fatalf("out-of-range Execution.String() = %q, want unknown", s)
+	}
+}
+
+func TestParseRoundTrips(t *testing.T) {
+	for m := Euclidean; m <= Hamming; m++ {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMetric(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for m := Linear; m <= MPLSH; m++ {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, e := range []Execution{Host, Device} {
+		got, err := ParseExecution(e.String())
+		if err != nil || got != e {
+			t.Fatalf("ParseExecution(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseMetric("chebyshev"); err == nil {
+		t.Fatal("ParseMetric accepted unknown name")
+	}
+	if _, err := ParseMode("ivf"); err == nil {
+		t.Fatal("ParseMode accepted unknown name")
+	}
+	if _, err := ParseExecution("gpu"); err == nil {
+		t.Fatal("ParseExecution accepted unknown name")
+	}
+}

@@ -1,0 +1,261 @@
+// Package client is the typed Go client for the SSAM query server
+// (internal/server). It speaks the internal/server/wire JSON format,
+// applies a per-request timeout, and transparently retries shed load:
+// a 503 response carries a Retry-After hint, and search/read calls
+// back off and retry up to a bounded attempt budget before surfacing
+// ErrOverloaded.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssam/internal/server/wire"
+)
+
+// ErrOverloaded is returned when the server keeps shedding a request
+// after the client's retry budget is spent. Unwraps from the returned
+// error chain via errors.Is.
+var ErrOverloaded = errors.New("client: server overloaded (503 after retries)")
+
+// StatusError is a non-2xx, non-retried server response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}
+
+// Client talks to one SSAM query server. Safe for concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int           // retry budget for shed (503) requests
+	maxWait    time.Duration // cap on a single Retry-After backoff
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout bounds each HTTP request (default 30s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithRetries sets how many times a shed request is retried before
+// ErrOverloaded (default 3; 0 disables retrying).
+func WithRetries(n int) Option {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithMaxRetryWait caps how long one Retry-After hint can make the
+// client sleep (default 2s — servers hint in whole seconds).
+func WithMaxRetryWait(d time.Duration) Option {
+	return func(c *Client) { c.maxWait = d }
+}
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{Timeout: 30 * time.Second},
+		maxRetries: 3,
+		maxWait:    2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one JSON round trip. Shed responses (503) are retried with
+// the server's Retry-After backoff when retryable; mutation calls pass
+// retryable=false so a half-applied sequence is never repeated
+// blindly.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, retryable bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	attempts := 1
+	if retryable {
+		attempts += c.maxRetries
+	}
+	var wait time.Duration
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		code, hint, err := c.roundTrip(ctx, method, path, body, out)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusServiceUnavailable {
+			return nil
+		}
+		if attempt == attempts-1 {
+			return fmt.Errorf("%w: %s %s", ErrOverloaded, method, path)
+		}
+		wait = hint
+	}
+}
+
+// roundTrip performs one attempt. A 503 returns (503, backoff, nil)
+// so the caller can wait out the server's Retry-After hint; other
+// failures are folded into err.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, out any) (int, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, c.parseRetryAfter(resp), nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := readErrorBody(resp.Body)
+		return resp.StatusCode, 0, &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, 0, fmt.Errorf("client: decode response: %w", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, 0, nil
+}
+
+func (c *Client) parseRetryAfter(resp *http.Response) time.Duration {
+	wait := 100 * time.Millisecond // default nudge when the header is absent
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait > c.maxWait {
+		wait = c.maxWait
+	}
+	return wait
+}
+
+func readErrorBody(r io.Reader) string {
+	var e wire.ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// --- driver calls (Fig. 4 over HTTP) ---
+
+// CreateRegion allocates a named region on the server (nmalloc+nmode).
+func (c *Client) CreateRegion(ctx context.Context, name string, dims int, cfg wire.RegionConfig) (wire.RegionInfo, error) {
+	var info wire.RegionInfo
+	err := c.do(ctx, http.MethodPost, "/regions",
+		wire.CreateRegionRequest{Name: name, Dims: dims, Config: cfg}, &info, false)
+	return info, err
+}
+
+// Load replaces the region's dataset with vectors (nmemcpy).
+func (c *Client) Load(ctx context.Context, name string, vectors [][]float32) (wire.RegionInfo, error) {
+	var info wire.RegionInfo
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/load",
+		wire.LoadRequest{Vectors: vectors}, &info, false)
+	return info, err
+}
+
+// LoadAppend streams additional vectors into the region.
+func (c *Client) LoadAppend(ctx context.Context, name string, vectors [][]float32) (wire.RegionInfo, error) {
+	var info wire.RegionInfo
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/load",
+		wire.LoadRequest{Vectors: vectors, Append: true}, &info, false)
+	return info, err
+}
+
+// Build constructs the region's index (nbuild_index).
+func (c *Client) Build(ctx context.Context, name string) (wire.RegionInfo, error) {
+	var info wire.RegionInfo
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/build", nil, &info, false)
+	return info, err
+}
+
+// Search answers one kNN query, retrying shed load.
+func (c *Client) Search(ctx context.Context, name string, query []float32, k int) ([]wire.Neighbor, error) {
+	var resp wire.SearchResponse
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/search",
+		wire.SearchRequest{Query: query, K: k}, &resp, true)
+	return resp.Results, err
+}
+
+// SearchBatch answers an explicit query batch, retrying shed load.
+func (c *Client) SearchBatch(ctx context.Context, name string, queries [][]float32, k int) ([][]wire.Neighbor, error) {
+	var resp wire.SearchBatchResponse
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/searchbatch",
+		wire.SearchBatchRequest{Queries: queries, K: k}, &resp, true)
+	return resp.Results, err
+}
+
+// Free releases the region (nfree).
+func (c *Client) Free(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/regions/"+name, nil, nil, false)
+}
+
+// Regions lists the server's regions.
+func (c *Client) Regions(ctx context.Context) ([]wire.RegionInfo, error) {
+	var infos []wire.RegionInfo
+	err := c.do(ctx, http.MethodGet, "/regions", nil, &infos, true)
+	return infos, err
+}
+
+// Region fetches one region's info.
+func (c *Client) Region(ctx context.Context, name string) (wire.RegionInfo, error) {
+	var info wire.RegionInfo
+	err := c.do(ctx, http.MethodGet, "/regions/"+name, nil, &info, true)
+	return info, err
+}
+
+// Stats fetches /statsz.
+func (c *Client) Stats(ctx context.Context) (wire.StatsResponse, error) {
+	var stats wire.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/statsz", nil, &stats, true)
+	return stats, err
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
+}

@@ -1,0 +1,98 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssam/internal/server/wire"
+)
+
+// shedThenServe 503s the first n attempts (with a zero Retry-After so
+// tests don't sleep), then serves an empty result.
+func shedThenServe(n int) (*httptest.Server, *atomic.Int32) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(attempts.Add(1)) <= n {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"results":[]}`))
+	}))
+	return ts, &attempts
+}
+
+func TestRetriesShedLoad(t *testing.T) {
+	ts, attempts := shedThenServe(2)
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(3))
+	if _, err := c.Search(context.Background(), "r", []float32{1}, 2); err != nil {
+		t.Fatalf("search with retry budget 3 = %v, want success on attempt 3", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	ts, attempts := shedThenServe(100)
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(2))
+	_, err := c.Search(context.Background(), "r", []float32{1}, 2)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exhausted retries = %v, want ErrOverloaded", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestMutationsAreNotRetried(t *testing.T) {
+	ts, attempts := shedThenServe(1)
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(5))
+	_, err := c.CreateRegion(context.Background(), "r", 4, wire.RegionConfig{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("shed mutation = %v, want ErrOverloaded without retry", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("mutation retried: server saw %d attempts, want 1", got)
+	}
+}
+
+func TestStatusErrorSurfacesBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"region exists"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Build(context.Background(), "r")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusConflict || se.Message != "region exists" {
+		t.Fatalf("got %v, want StatusError{409, region exists}", err)
+	}
+}
+
+func TestRetryAfterCapped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(1), WithMaxRetryWait(50*time.Millisecond))
+	start := time.Now()
+	_, err := c.Search(context.Background(), "r", []float32{1}, 2)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("client slept %v; Retry-After cap not applied", elapsed)
+	}
+}

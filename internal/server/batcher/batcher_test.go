@@ -1,0 +1,244 @@
+package batcher
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ssam"
+)
+
+// recorder is a SearchFunc that logs every batch it receives and
+// answers query i of a batch with a single Result whose ID is the
+// query's first coordinate (so callers can check fan-out order).
+type recorder struct {
+	mu      sync.Mutex
+	batches [][]int // first coordinate of each query, per batch
+	ks      []int
+	delay   time.Duration
+	err     error
+}
+
+func (r *recorder) search(qs [][]float32, k int) ([][]ssam.Result, error) {
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	ids := make([]int, len(qs))
+	out := make([][]ssam.Result, len(qs))
+	for i, q := range qs {
+		ids[i] = int(q[0])
+		out[i] = []ssam.Result{{ID: int(q[0]), Dist: 0}}
+	}
+	r.mu.Lock()
+	r.batches = append(r.batches, ids)
+	r.ks = append(r.ks, k)
+	r.mu.Unlock()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+func (r *recorder) snapshot() ([][]int, []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]int(nil), r.batches...), append([]int(nil), r.ks...)
+}
+
+func query(id int) []float32 { return []float32{float32(id), 0} }
+
+// searchAll issues one Search per id from its own goroutine and waits
+// for all of them, failing the test on any unexpected error.
+func searchAll(t *testing.T, b *Batcher, k int, ids []int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ids))
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res, err := b.Search(context.Background(), query(id), k)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res) != 1 || res[0].ID != id {
+				errs <- errors.New("wrong result routed to waiter")
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowTimeoutFlush: requests trickling in under MaxBatch are
+// flushed together once the window expires.
+func TestWindowTimeoutFlush(t *testing.T) {
+	rec := &recorder{}
+	b := New(rec.search, Options{Window: 60 * time.Millisecond, MaxBatch: 100})
+	defer b.Close()
+
+	start := time.Now()
+	searchAll(t, b, 3, []int{1, 2, 3})
+	elapsed := time.Since(start)
+
+	batches, ks := rec.snapshot()
+	if len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1 (window flush should coalesce): %v", len(batches), batches)
+	}
+	if len(batches[0]) != 3 || ks[0] != 3 {
+		t.Fatalf("batch = %v (k=%d), want 3 queries at k=3", batches[0], ks[0])
+	}
+	// The flush must wait out the window (nothing hit MaxBatch).
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("flush after %v, before the 60ms window expired", elapsed)
+	}
+}
+
+// TestMaxBatchFlush: hitting MaxBatch flushes immediately, well before
+// a long window expires.
+func TestMaxBatchFlush(t *testing.T) {
+	rec := &recorder{}
+	b := New(rec.search, Options{Window: 10 * time.Second, MaxBatch: 4})
+	defer b.Close()
+
+	done := make(chan struct{})
+	go func() {
+		searchAll(t, b, 2, []int{10, 11, 12, 13})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("size-triggered flush did not happen; waiters stuck behind the 10s window")
+	}
+	batches, _ := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 4 {
+		t.Fatalf("batches = %v, want one batch of 4", batches)
+	}
+}
+
+// TestMixedKNeverCoalesced: concurrent requests with different k must
+// land in separate, homogeneous batches.
+func TestMixedKNeverCoalesced(t *testing.T) {
+	rec := &recorder{}
+	b := New(rec.search, Options{Window: 50 * time.Millisecond, MaxBatch: 100})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := 3 + i%2 // half at k=3, half at k=4
+			if _, err := b.Search(context.Background(), query(i), k); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	batches, ks := rec.snapshot()
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches for two k values, want 2: %v (k=%v)", len(batches), batches, ks)
+	}
+	seen := map[int]int{}
+	for i, ids := range batches {
+		seen[ks[i]] += len(ids)
+	}
+	if seen[3] != 4 || seen[4] != 4 {
+		t.Fatalf("per-k query counts = %v, want 4 each for k=3 and k=4", seen)
+	}
+}
+
+// TestErrorFanOut: a failing SearchFunc must deliver its error to
+// every waiter of the batch, not just one.
+func TestErrorFanOut(t *testing.T) {
+	boom := errors.New("vault fire")
+	rec := &recorder{err: boom}
+	b := New(rec.search, Options{Window: 30 * time.Millisecond, MaxBatch: 100})
+	defer b.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	got := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, got[i] = b.Search(context.Background(), query(i), 5)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range got {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d got %v, want the batch error", i, err)
+		}
+	}
+	if batches, _ := rec.snapshot(); len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(batches))
+	}
+	if n := b.Pending(); n != 0 {
+		t.Fatalf("pending = %d after error fan-out, want 0", n)
+	}
+}
+
+// TestCloseDrains: Close flushes an open bucket immediately and
+// subsequent Search calls fail with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	rec := &recorder{}
+	b := New(rec.search, Options{Window: 10 * time.Second, MaxBatch: 100})
+
+	res := make(chan error, 1)
+	go func() {
+		_, err := b.Search(context.Background(), query(1), 2)
+		res <- err
+	}()
+	// Wait for the request to be admitted before draining.
+	for i := 0; b.Pending() == 0 && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("drained request failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not flush the open bucket")
+	}
+	if _, err := b.Search(context.Background(), query(2), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Search after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestContextCancellation: a waiter that gives up gets ctx.Err()
+// without wedging the batch for everyone else.
+func TestContextCancellation(t *testing.T) {
+	rec := &recorder{delay: 20 * time.Millisecond}
+	b := New(rec.search, Options{Window: 30 * time.Millisecond, MaxBatch: 100})
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Search(ctx, query(1), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Search = %v, want context.Canceled", err)
+	}
+	// The abandoned query still executes with its batch.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if batches, _ := rec.snapshot(); len(batches) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned query's batch never executed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,529 @@
+// Package server puts SSAM regions behind a socket: an HTTP/JSON
+// query service on the stdlib mux that manages a registry of named
+// regions, coalesces concurrent single-query requests into region
+// batch searches (internal/server/batcher), sheds load with 503 +
+// Retry-After once a bounded in-flight budget is exhausted, and
+// exposes serving metrics at /statsz.
+//
+// The endpoint set is the paper's Fig. 4 driver interface lifted onto
+// HTTP verbs:
+//
+//	POST   /regions                  nmalloc + nmode (create named region)
+//	POST   /regions/{name}/load      nmemcpy
+//	POST   /regions/{name}/build     nbuild_index
+//	POST   /regions/{name}/search    nwrite_query + nexec + nread_result (micro-batched)
+//	POST   /regions/{name}/searchbatch  explicit batch, bypasses the batcher
+//	GET    /regions[/{name}]         registry inspection
+//	DELETE /regions/{name}           nfree
+//	GET    /statsz                   per-region QPS, batch sizes, queue depth, p50/p99
+//	GET    /healthz                  liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssam"
+	"ssam/internal/server/batcher"
+	"ssam/internal/server/wire"
+)
+
+// Options tunes a Server. Zero values select the defaults.
+type Options struct {
+	// MaxInFlight bounds concurrently admitted search requests;
+	// arrivals beyond it receive 503 + Retry-After (default 256).
+	MaxInFlight int
+	// BatchWindow and MaxBatch configure each region's micro-batcher
+	// (defaults 2ms / 64).
+	BatchWindow time.Duration
+	MaxBatch    int
+	// RetryAfter is the hint returned with shed load (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies (default 1 GiB; loads are big).
+	MaxBodyBytes int64
+}
+
+func (o *Options) fill() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 30
+	}
+}
+
+// Server is the query service. It implements http.Handler; wrap it in
+// an http.Server (or httptest.Server) to serve traffic.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	sem   chan struct{} // admission tokens
+	start time.Time
+
+	rejected atomic.Uint64
+	draining atomic.Bool
+
+	mu      sync.RWMutex // registry
+	regions map[string]*regionEntry
+}
+
+// regionEntry is one named region plus its serving attachments.
+type regionEntry struct {
+	name    string
+	dims    int
+	cfg     ssam.Config
+	cfgWire wire.RegionConfig
+	stats   *regionStats
+
+	mu      sync.Mutex // guards mutation (load/build/free) and the fields below
+	region  *ssam.Region
+	data    []float32 // accumulated rows, so Append loads can restage
+	built   bool
+	batcher *batcher.Batcher // non-nil once built
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		start:   time.Now(),
+		regions: make(map[string]*regionEntry),
+	}
+	s.mux.HandleFunc("POST /regions", s.handleCreate)
+	s.mux.HandleFunc("GET /regions", s.handleList)
+	s.mux.HandleFunc("GET /regions/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /regions/{name}", s.handleFree)
+	s.mux.HandleFunc("POST /regions/{name}/load", s.handleLoad)
+	s.mux.HandleFunc("POST /regions/{name}/build", s.handleBuild)
+	s.mux.HandleFunc("POST /regions/{name}/search", s.handleSearch)
+	s.mux.HandleFunc("POST /regions/{name}/searchbatch", s.handleSearchBatch)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// StartDrain makes the server shed all subsequent search traffic with
+// 503 (clients retry against a replacement) while leaving in-flight
+// batches to complete. Call before http.Server.Shutdown so connection
+// draining isn't stuck behind batching windows.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Close drains every region's batcher (flushing open batches) and
+// frees the regions. The server sheds new work from the moment Close
+// begins; call after http.Server.Shutdown has returned.
+func (s *Server) Close() {
+	s.StartDrain()
+	s.mu.Lock()
+	entries := make([]*regionEntry, 0, len(s.regions))
+	for _, e := range s.regions {
+		entries = append(entries, e)
+	}
+	s.regions = make(map[string]*regionEntry)
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.batcher != nil {
+			e.batcher.Close()
+		}
+		if e.region != nil {
+			e.region.Free()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) entry(w http.ResponseWriter, r *http.Request) *regionEntry {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	e := s.regions[name]
+	s.mu.RUnlock()
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "no region %q", name)
+	}
+	return e
+}
+
+// admit takes an admission token, or sheds the request. The returned
+// release func is nil when the request was shed.
+func (s *Server) admit(w http.ResponseWriter) func() {
+	if s.draining.Load() {
+		s.shed(w, "server draining")
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	default:
+		s.shed(w, "server at capacity (%d in flight)", s.opts.MaxInFlight)
+		return nil
+	}
+}
+
+func (s *Server) shed(w http.ResponseWriter, format string, args ...any) {
+	s.rejected.Add(1)
+	secs := int(s.opts.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErr(w, http.StatusServiceUnavailable, format, args...)
+}
+
+func toConfig(wc wire.RegionConfig) (ssam.Config, error) {
+	var cfg ssam.Config
+	var err error
+	if wc.Metric != "" {
+		if cfg.Metric, err = ssam.ParseMetric(wc.Metric); err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.Metric == ssam.Hamming {
+		return cfg, errors.New("hamming regions are not servable over the wire (no JSON binary-code format)")
+	}
+	if wc.Mode != "" {
+		if cfg.Mode, err = ssam.ParseMode(wc.Mode); err != nil {
+			return cfg, err
+		}
+	}
+	if wc.Execution != "" {
+		if cfg.Execution, err = ssam.ParseExecution(wc.Execution); err != nil {
+			return cfg, err
+		}
+	}
+	cfg.VectorLength = wc.VectorLength
+	cfg.Workers = wc.Workers
+	cfg.Index = ssam.IndexParams(wc.Index)
+	return cfg, nil
+}
+
+func toNeighbors(res []ssam.Result) []wire.Neighbor {
+	out := make([]wire.Neighbor, len(res))
+	for i, r := range res {
+		out[i] = wire.Neighbor{ID: r.ID, Distance: r.Dist}
+	}
+	return out
+}
+
+// --- handlers ---
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateRegionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "region name required")
+		return
+	}
+	cfg, err := toConfig(req.Config)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	region, err := ssam.New(req.Dims, cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e := &regionEntry{
+		name: req.Name, dims: req.Dims, cfg: cfg, cfgWire: req.Config,
+		stats: &regionStats{}, region: region,
+	}
+	s.mu.Lock()
+	if _, dup := s.regions[req.Name]; dup {
+		s.mu.Unlock()
+		region.Free()
+		writeErr(w, http.StatusConflict, "region %q already exists", req.Name)
+		return
+	}
+	s.regions[req.Name] = e
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, e.info())
+}
+
+func (e *regionEntry) info() wire.RegionInfo {
+	return wire.RegionInfo{
+		Name: e.name, Dims: e.dims, Len: e.region.Len(), Built: e.built,
+		Config: e.cfgWire,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	entries := make([]*regionEntry, 0, len(s.regions))
+	for _, e := range s.regions {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	infos := make([]wire.RegionInfo, 0, len(entries))
+	for _, e := range entries {
+		e.mu.Lock()
+		infos = append(infos, e.info())
+		e.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	info := e.info()
+	e.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	var req wire.LoadRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Vectors) == 0 {
+		writeErr(w, http.StatusBadRequest, "no vectors")
+		return
+	}
+	for i, v := range req.Vectors {
+		if len(v) != e.dims {
+			writeErr(w, http.StatusBadRequest, "vector %d has dim %d, want %d", i, len(v), e.dims)
+			return
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !req.Append {
+		e.data = e.data[:0]
+	}
+	for _, v := range req.Vectors {
+		e.data = append(e.data, v...)
+	}
+	if err := e.region.LoadFloat32(e.data); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A reload invalidates the built index; stop batching until the
+	// caller rebuilds.
+	if e.batcher != nil {
+		e.batcher.Close()
+		e.batcher = nil
+	}
+	e.built = false
+	writeJSON(w, http.StatusOK, e.info())
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.region.BuildIndex(); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if e.batcher != nil {
+		e.batcher.Close()
+	}
+	region := e.region
+	e.batcher = batcher.New(region.SearchBatch, batcher.Options{
+		Window:   s.opts.BatchWindow,
+		MaxBatch: s.opts.MaxBatch,
+		OnFlush:  func(size int, _ time.Duration) { e.stats.recordBatch(size) },
+	})
+	e.built = true
+	writeJSON(w, http.StatusOK, e.info())
+}
+
+func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	e := s.regions[name]
+	delete(s.regions, name)
+	s.mu.Unlock()
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "no region %q", name)
+		return
+	}
+	e.mu.Lock()
+	if e.batcher != nil {
+		e.batcher.Close()
+		e.batcher = nil
+	}
+	e.region.Free()
+	e.built = false
+	e.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// searchable snapshots the entry's serving state; it reports an error
+// response when the region has no built index yet.
+func (e *regionEntry) searchable(w http.ResponseWriter) (*batcher.Batcher, *ssam.Region, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.built || e.batcher == nil {
+		writeErr(w, http.StatusConflict, "region %q has no built index (POST .../build first)", e.name)
+		return nil, nil, false
+	}
+	return e.batcher, e.region, true
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	var req wire.SearchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Query) != e.dims {
+		writeErr(w, http.StatusBadRequest, "query dim %d, want %d", len(req.Query), e.dims)
+		return
+	}
+	if req.K <= 0 {
+		writeErr(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	b, _, ok := e.searchable(w)
+	if !ok {
+		return
+	}
+	res, err := b.Search(r.Context(), req.Query, req.K)
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) {
+			return // client went away; nothing useful to write
+		}
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	e.stats.recordQueries(1, time.Since(start))
+	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: toNeighbors(res)})
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	var req wire.SearchBatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	if req.K <= 0 {
+		writeErr(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	_, region, ok := e.searchable(w)
+	if !ok {
+		return
+	}
+	batch, err := region.SearchBatch(req.Queries, req.K)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([][]wire.Neighbor, len(batch))
+	for i, res := range batch {
+		out[i] = toNeighbors(res)
+	}
+	e.stats.recordBatch(len(req.Queries))
+	e.stats.recordQueries(len(req.Queries), time.Since(start))
+	writeJSON(w, http.StatusOK, wire.SearchBatchResponse{Results: out})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	entries := make(map[string]*regionEntry, len(s.regions))
+	for name, e := range s.regions {
+		entries[name] = e
+	}
+	s.mu.RUnlock()
+
+	resp := wire.StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      len(s.sem),
+		MaxInFlight:   s.opts.MaxInFlight,
+		Rejected:      s.rejected.Load(),
+		Draining:      s.draining.Load(),
+		Regions:       make(map[string]wire.RegionStats, len(entries)),
+	}
+	for name, e := range entries {
+		depth := 0
+		e.mu.Lock()
+		if e.batcher != nil {
+			depth = e.batcher.Pending()
+		}
+		e.mu.Unlock()
+		resp.Regions[name] = e.stats.snapshot(depth)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

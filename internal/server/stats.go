@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ssam/internal/server/wire"
+)
+
+// histLes are the batch-size histogram bucket upper bounds; sizes
+// above the last bound land in a final +inf bucket.
+var histLes = [...]int{1, 2, 4, 8, 16, 32, 64}
+
+const (
+	latencySamples = 2048 // sliding latency reservoir per region
+	qpsWindow      = 10   // seconds of trailing QPS window
+	qpsSlots       = 16   // per-second ring (> qpsWindow to tolerate skew)
+)
+
+// regionStats accumulates per-region serving metrics: query and batch
+// counters, a trailing-window QPS estimate, a batch-size histogram,
+// and a sliding latency reservoir for percentile estimates.
+type regionStats struct {
+	mu       sync.Mutex
+	queries  uint64
+	batches  uint64
+	maxBatch int
+	hist     [len(histLes) + 1]uint64
+
+	lat    [latencySamples]float64 // milliseconds, ring
+	latIdx int
+	latN   int
+
+	secSlot  [qpsSlots]int64 // unix second owning each slot
+	secCount [qpsSlots]uint64
+}
+
+// recordQueries accounts n served queries sharing one observed
+// request latency (n == 1 for the micro-batched single-query path; n
+// == batch size for explicit batch requests).
+func (s *regionStats) recordQueries(n int, lat time.Duration) {
+	now := time.Now().Unix()
+	ms := float64(lat) / float64(time.Millisecond)
+	s.mu.Lock()
+	s.queries += uint64(n)
+	slot := now % qpsSlots
+	if s.secSlot[slot] != now {
+		s.secSlot[slot] = now
+		s.secCount[slot] = 0
+	}
+	s.secCount[slot] += uint64(n)
+	s.lat[s.latIdx] = ms
+	s.latIdx = (s.latIdx + 1) % latencySamples
+	if s.latN < latencySamples {
+		s.latN++
+	}
+	s.mu.Unlock()
+}
+
+// recordBatch accounts one executed batch of the given size.
+func (s *regionStats) recordBatch(size int) {
+	s.mu.Lock()
+	s.batches++
+	if size > s.maxBatch {
+		s.maxBatch = size
+	}
+	i := 0
+	for i < len(histLes) && size > histLes[i] {
+		i++
+	}
+	s.hist[i]++
+	s.mu.Unlock()
+}
+
+// snapshot renders the wire view. queueDepth is sampled by the caller
+// (it lives in the batcher, not here).
+func (s *regionStats) snapshot(queueDepth int) wire.RegionStats {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var recent uint64
+	for i := range s.secSlot {
+		if age := now - s.secSlot[i]; age >= 0 && age < qpsWindow {
+			recent += s.secCount[i]
+		}
+	}
+
+	buckets := make([]wire.HistogramBucket, 0, len(s.hist))
+	for i, le := range histLes {
+		buckets = append(buckets, wire.HistogramBucket{Le: le, Count: s.hist[i]})
+	}
+	buckets = append(buckets, wire.HistogramBucket{Le: -1, Count: s.hist[len(histLes)]})
+
+	p50, p99 := 0.0, 0.0
+	if s.latN > 0 {
+		sample := make([]float64, s.latN)
+		copy(sample, s.lat[:s.latN])
+		sort.Float64s(sample)
+		p50 = sample[s.latN/2]
+		p99 = sample[min(s.latN-1, s.latN*99/100)]
+	}
+
+	return wire.RegionStats{
+		Queries:      s.queries,
+		Batches:      s.batches,
+		QPS:          float64(recent) / qpsWindow,
+		QueueDepth:   queueDepth,
+		MaxBatchSeen: s.maxBatch,
+		BatchSizes:   buckets,
+		LatencyP50Ms: p50,
+		LatencyP99Ms: p99,
+	}
+}

@@ -1,0 +1,118 @@
+// Package wire defines the JSON request/response types shared by the
+// SSAM query server (internal/server) and the Go client
+// (internal/client). Enum-valued fields travel as their String()
+// names ("euclidean", "kdtree", "device", ...) so payloads stay
+// readable in curl transcripts.
+package wire
+
+// RegionConfig mirrors ssam.Config for region creation over the wire.
+// Only float-metric regions are servable: binary (Hamming-code)
+// payloads have no JSON vector representation here yet.
+type RegionConfig struct {
+	Metric       string      `json:"metric,omitempty"`        // euclidean|manhattan|cosine (default euclidean)
+	Mode         string      `json:"mode,omitempty"`          // linear|kdtree|kmeans|mplsh (default linear)
+	Execution    string      `json:"execution,omitempty"`     // host|device (default host)
+	VectorLength int         `json:"vector_length,omitempty"` // device variant: 2|4|8|16
+	Workers      int         `json:"workers,omitempty"`
+	Index        IndexParams `json:"index,omitempty"`
+}
+
+// IndexParams mirrors ssam.IndexParams.
+type IndexParams struct {
+	Trees     int   `json:"trees,omitempty"`
+	Branching int   `json:"branching,omitempty"`
+	LeafSize  int   `json:"leaf_size,omitempty"`
+	Tables    int   `json:"tables,omitempty"`
+	Bits      int   `json:"bits,omitempty"`
+	Checks    int   `json:"checks,omitempty"`
+	Probes    int   `json:"probes,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+}
+
+// CreateRegionRequest allocates a named region (nmalloc + nmode).
+type CreateRegionRequest struct {
+	Name   string       `json:"name"`
+	Dims   int          `json:"dims"`
+	Config RegionConfig `json:"config"`
+}
+
+// LoadRequest copies vectors into a region (nmemcpy). Append reloads
+// accumulate rows instead of replacing the dataset, letting large
+// corpora stream in over several requests.
+type LoadRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	Append  bool        `json:"append,omitempty"`
+}
+
+// RegionInfo describes one region in list/get responses.
+type RegionInfo struct {
+	Name   string       `json:"name"`
+	Dims   int          `json:"dims"`
+	Len    int          `json:"len"`
+	Built  bool         `json:"built"`
+	Config RegionConfig `json:"config"`
+}
+
+// SearchRequest is one query (nwrite_query + nexec); it rides the
+// server's micro-batcher.
+type SearchRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k"`
+}
+
+// Neighbor is one result row (nread_result).
+type Neighbor struct {
+	ID       int     `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+// SearchResponse answers a SearchRequest.
+type SearchResponse struct {
+	Results []Neighbor `json:"results"`
+}
+
+// SearchBatchRequest carries an explicit query batch; it bypasses the
+// micro-batcher and maps directly onto Region.SearchBatch.
+type SearchBatchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	K       int         `json:"k"`
+}
+
+// SearchBatchResponse answers a SearchBatchRequest, one row per query.
+type SearchBatchResponse struct {
+	Results [][]Neighbor `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HistogramBucket is one batch-size histogram cell: Count flushes had
+// size in (previous bucket's Le, Le].
+type HistogramBucket struct {
+	Le    int    `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// RegionStats is the per-region block of a StatsResponse.
+type RegionStats struct {
+	Queries      uint64            `json:"queries"`     // single queries served (micro-batched path)
+	Batches      uint64            `json:"batches"`     // SearchBatch executions on the region
+	QPS          float64           `json:"qps"`         // over the trailing 10s window
+	QueueDepth   int               `json:"queue_depth"` // queries waiting in the micro-batcher
+	MaxBatchSeen int               `json:"max_batch_seen"`
+	BatchSizes   []HistogramBucket `json:"batch_sizes"`
+	LatencyP50Ms float64           `json:"latency_p50_ms"` // request latency incl. batching wait
+	LatencyP99Ms float64           `json:"latency_p99_ms"`
+}
+
+// StatsResponse is the /statsz body.
+type StatsResponse struct {
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	InFlight      int                    `json:"in_flight"`
+	MaxInFlight   int                    `json:"max_in_flight"`
+	Rejected      uint64                 `json:"rejected"` // 503s shed by admission control
+	Draining      bool                   `json:"draining"`
+	Regions       map[string]RegionStats `json:"regions"`
+}

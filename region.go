@@ -19,11 +19,19 @@ import (
 var ErrFreed = errors.New("ssam: region has been freed")
 
 // Region is an SSAM-enabled memory region (the nbuf of Fig. 4). It is
-// not safe for concurrent mutation; concurrent Search calls are safe
-// once the index is built.
+// not safe for concurrent mutation (Load/BuildIndex/Free), and the
+// staged WriteQuery/Exec/ReadResult sequence assumes one caller; but
+// concurrent Search, SearchBinary and SearchBatch calls are safe once
+// the index is built — Host execution queries read-only index
+// structures lock-free, and Device execution serializes on the
+// simulated module internally.
 type Region struct {
 	cfg  Config
 	dims int
+
+	// mu serializes device execution (the cycle simulator is stateful)
+	// and guards lastStats, which Search updates concurrently.
+	mu sync.Mutex
 
 	data   []float32    // float datasets
 	codes  []vec.Binary // Hamming datasets
@@ -56,6 +64,15 @@ type Region struct {
 func New(dims int, cfg Config) (*Region, error) {
 	if dims <= 0 {
 		return nil, fmt.Errorf("ssam: dims must be positive, got %d", dims)
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("ssam: metric %d out of range [%v..%v]", int(cfg.Metric), Euclidean, Hamming)
+	}
+	if !cfg.Mode.Valid() {
+		return nil, fmt.Errorf("ssam: mode %d out of range [%v..%v]", int(cfg.Mode), Linear, MPLSH)
+	}
+	if !cfg.Execution.Valid() {
+		return nil, fmt.Errorf("ssam: execution %d not in {%v, %v}", int(cfg.Execution), Host, Device)
 	}
 	if cfg.VectorLength == 0 {
 		cfg.VectorLength = 8
@@ -327,19 +344,16 @@ func (r *Region) Exec(k int) error {
 	}
 
 	if r.device != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		var res []topk.Result
 		var st ssamdev.QueryStats
 		var err error
 		if r.cfg.Metric == Hamming {
 			res, st, err = r.device.SearchBinary(r.queryBin, k)
-			if err != nil {
-				return err
-			}
-			r.lastRes = res
-			r.lastStats = toDeviceStats(st)
-			return nil
+		} else {
+			res, st, err = r.deviceSearchRaw(r.query, k)
 		}
-		res, st, err = r.deviceSearchRaw(r.query, k)
 		if err != nil {
 			return err
 		}
@@ -362,7 +376,9 @@ func (r *Region) Exec(k int) error {
 	default:
 		return errors.New("ssam: no engine built")
 	}
+	r.mu.Lock()
 	r.lastStats = DeviceStats{}
+	r.mu.Unlock()
 	return nil
 }
 
@@ -379,26 +395,75 @@ func (r *Region) ReadResult() ([]Result, error) {
 	return out, nil
 }
 
-// Search is the convenience wrapper: WriteQuery + Exec + ReadResult.
+// Search answers one query for the k nearest neighbors. Unlike the
+// staged WriteQuery/Exec/ReadResult sequence it keeps no per-region
+// query state, so it is safe to call from many goroutines once the
+// index is built; Device execution serializes on the simulated module
+// and updates LastStats per query.
 func (r *Region) Search(q []float32, k int) ([]Result, error) {
-	if err := r.WriteQuery(q); err != nil {
-		return nil, err
+	if r.freed {
+		return nil, ErrFreed
 	}
-	if err := r.Exec(k); err != nil {
-		return nil, err
+	if r.cfg.Metric == Hamming {
+		return nil, errors.New("ssam: float query on a Hamming region")
 	}
-	return r.ReadResult()
+	if len(q) != r.dims {
+		return nil, fmt.Errorf("ssam: query dim %d, want %d", len(q), r.dims)
+	}
+	if !r.built {
+		return nil, errors.New("ssam: Search before BuildIndex")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ssam: k must be positive")
+	}
+	if r.device != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		res, st, err := r.deviceSearchRaw(q, k)
+		if err != nil {
+			return nil, err
+		}
+		r.lastStats = toDeviceStats(st)
+		return res, nil
+	}
+	search := r.hostSearcher()
+	if search == nil {
+		return nil, errors.New("ssam: no engine built")
+	}
+	return search(q, k), nil
 }
 
 // SearchBinary is Search for Hamming regions.
 func (r *Region) SearchBinary(q BinaryCode, k int) ([]Result, error) {
-	if err := r.WriteQueryBinary(q); err != nil {
-		return nil, err
+	if r.freed {
+		return nil, ErrFreed
 	}
-	if err := r.Exec(k); err != nil {
-		return nil, err
+	if r.cfg.Metric != Hamming {
+		return nil, errors.New("ssam: binary query on a non-Hamming region")
 	}
-	return r.ReadResult()
+	if q.Dim != r.dims {
+		return nil, fmt.Errorf("ssam: query width %d, want %d", q.Dim, r.dims)
+	}
+	if !r.built {
+		return nil, errors.New("ssam: SearchBinary before BuildIndex")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ssam: k must be positive")
+	}
+	if r.device != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		res, st, err := r.device.SearchBinary(q, k)
+		if err != nil {
+			return nil, err
+		}
+		r.lastStats = toDeviceStats(st)
+		return res, nil
+	}
+	if r.hamming == nil {
+		return nil, errors.New("ssam: no engine built")
+	}
+	return r.hamming.Search(q, k), nil
 }
 
 // SearchBatch answers one query per element of qs. Host execution
@@ -426,6 +491,8 @@ func (r *Region) SearchBatch(qs [][]float32, k int) ([][]Result, error) {
 	out := make([][]Result, len(qs))
 
 	if r.device != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		var agg DeviceStats
 		for i, q := range qs {
 			res, st, err := r.deviceSearch(q, k)
@@ -518,8 +585,13 @@ func (r *Region) hostSearcher() func([]float32, int) []Result {
 	return nil
 }
 
-// LastStats returns the simulated device stats of the last Exec.
-func (r *Region) LastStats() DeviceStats { return r.lastStats }
+// LastStats returns the simulated device stats of the last Exec,
+// Search or SearchBatch (zero for Host execution).
+func (r *Region) LastStats() DeviceStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastStats
+}
 
 // Device exposes the underlying simulated module (nil for Host
 // execution) for benchmarking and model queries.

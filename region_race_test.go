@@ -1,0 +1,154 @@
+package ssam
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ssam/internal/dataset"
+)
+
+// raceDataset is a small clustered dataset shared by the concurrency
+// tests (cheap enough to build all four host indexes under -race).
+func raceDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Spec{
+		Name: "race", N: 400, Dim: 24, NumQueries: 32, K: 5,
+		Clusters: 8, ClusterStd: 0.3, Seed: 7,
+	})
+}
+
+// TestConcurrentSearchAllModes exercises the documented claim that
+// concurrent Search calls are safe once the index is built, across all
+// four indexing modes. Run with -race to verify.
+func TestConcurrentSearchAllModes(t *testing.T) {
+	ds := raceDataset(t)
+	for _, mode := range []Mode{Linear, KDTree, KMeans, MPLSH} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			r, err := New(ds.Dim(), Config{Mode: mode, Index: IndexParams{Seed: 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Free()
+			if err := r.LoadFloat32(ds.Data); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := range ds.Queries {
+						res, err := r.Search(ds.Queries[i], 5)
+						if err != nil {
+							errs <- err
+							return
+						}
+						// Approximate modes may find fewer than k
+						// candidates; the subject here is data races,
+						// not recall.
+						if len(res) == 0 || len(res) > 5 {
+							errs <- fmt.Errorf("goroutine %d: got %d results, want 1..5", g, len(res))
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentSearchDevice checks that Device execution, which
+// shares a stateful cycle simulator, serializes concurrent Search and
+// LastStats calls safely.
+func TestConcurrentSearchDevice(t *testing.T) {
+	ds := raceDataset(t)
+	r, err := New(ds.Dim(), Config{Execution: Device, VectorLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Free()
+	if err := r.LoadFloat32(ds.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := r.Search(ds.Queries[i], 3); err != nil {
+					errs <- err
+					return
+				}
+				if st := r.LastStats(); st.Cycles == 0 {
+					errs <- fmt.Errorf("empty device stats after Search")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSearchBatch fans SearchBatch out from several
+// goroutines at once (the serving layer's batcher does exactly this
+// for distinct k values).
+func TestConcurrentSearchBatch(t *testing.T) {
+	ds := raceDataset(t)
+	r, err := New(ds.Dim(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Free()
+	if err := r.LoadFloat32(ds.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out, err := r.SearchBatch(ds.Queries, k)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for _, res := range out {
+				if len(res) != k {
+					errs <- fmt.Errorf("k=%d: got %d results", k, len(res))
+					return
+				}
+			}
+		}(g + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

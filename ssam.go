@@ -23,6 +23,8 @@
 package ssam
 
 import (
+	"fmt"
+
 	"ssam/internal/topk"
 	"ssam/internal/vec"
 )
@@ -48,8 +50,28 @@ const (
 	Hamming
 )
 
-// String returns the metric name.
-func (m Metric) String() string { return m.toVec().String() }
+// String returns the metric name, or "unknown" for out-of-range
+// values (which New rejects).
+func (m Metric) String() string {
+	switch m {
+	case Euclidean, Manhattan, Cosine, Hamming:
+		return m.toVec().String()
+	}
+	return "unknown"
+}
+
+// Valid reports whether m is one of the supported metrics.
+func (m Metric) Valid() bool { return m >= Euclidean && m <= Hamming }
+
+// ParseMetric parses a metric name as produced by Metric.String.
+func ParseMetric(s string) (Metric, error) {
+	for m := Euclidean; m <= Hamming; m++ {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("ssam: unknown metric %q", s)
+}
 
 func (m Metric) toVec() vec.Metric {
 	switch m {
@@ -94,6 +116,19 @@ func (m Mode) String() string {
 	return "unknown"
 }
 
+// Valid reports whether m is one of the supported modes.
+func (m Mode) Valid() bool { return m >= Linear && m <= MPLSH }
+
+// ParseMode parses a mode name as produced by Mode.String.
+func ParseMode(s string) (Mode, error) {
+	for m := Linear; m <= MPLSH; m++ {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("ssam: unknown mode %q", s)
+}
+
 // Execution selects where queries run.
 type Execution int
 
@@ -110,6 +145,32 @@ const (
 	// IndexParams.Checks is the per-processing-unit scan budget.
 	Device
 )
+
+// String returns the execution name.
+func (e Execution) String() string {
+	switch e {
+	case Host:
+		return "host"
+	case Device:
+		return "device"
+	}
+	return "unknown"
+}
+
+// Valid reports whether e is one of the supported execution targets.
+func (e Execution) Valid() bool { return e == Host || e == Device }
+
+// ParseExecution parses an execution name as produced by
+// Execution.String.
+func ParseExecution(s string) (Execution, error) {
+	switch s {
+	case "host":
+		return Host, nil
+	case "device":
+		return Device, nil
+	}
+	return 0, fmt.Errorf("ssam: unknown execution %q", s)
+}
 
 // IndexParams tunes the approximate indexes. Zero values select
 // defaults matching the paper's characterization setup.
