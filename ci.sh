@@ -16,4 +16,9 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Benchmark smoke: compile and run every benchmark once so a bench
+# that rots (bad setup, panic, API drift) fails the gate, without
+# paying for real measurement iterations.
+go test -run=NONE -bench=. -benchtime=1x ./...
+
 echo "ci.sh: all green"

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, all)")
 	scale := flag.Float64("scale", 0.004, "dataset scale relative to the paper's sizes (0,1]")
 	queries := flag.Int("queries", 10, "queries per measurement point")
 	vlen := flag.Int("vlen", 8, "SSAM vector length (2, 4, 8, 16)")
@@ -46,6 +46,7 @@ func main() {
 		"offload":  func() (bench.Report, error) { return bench.KMeansOffloadReport(o) },
 		"energy":   func() (bench.Report, error) { return bench.EnergyPerQueryReport(o) },
 		"cluster":  func() (bench.Report, error) { return bench.ClusterScalingReport(o) },
+		"shards":   func() (bench.Report, error) { return bench.ShardSweepReport(o) },
 		"devbuild": func() (bench.Report, error) { return bench.DeviceAssistedBuildReport(o) },
 		"devindex": func() (bench.Report, error) { return bench.DeviceIndexSweepReport(o) },
 		"devlsh":   func() (bench.Report, error) { return bench.DeviceLSHSweepReport(o) },
@@ -53,7 +54,7 @@ func main() {
 	}
 	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig6", "fig7", "pqueue", "fixed", "tco", "build", "offload",
-		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster"}
+		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster", "shards"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

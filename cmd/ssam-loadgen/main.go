@@ -38,6 +38,9 @@ func main() {
 	dims := flag.Int("dims", 100, "vector dimensionality for -setup")
 	clusters := flag.Int("clusters", 64, "mixture components for -setup")
 	mode := flag.String("mode", "linear", "indexing mode for -setup")
+	shards := flag.Int("shards", 0, "partition the -setup region across N scatter-gather shards (0 = unsharded)")
+	allowPartial := flag.Bool("allow-partial", true, "sharded setup: serve degraded results when shards fail")
+	hedge := flag.Duration("hedge", 0, "sharded setup: hedge a shard unanswered after this delay (0 = off)")
 	k := flag.Int("k", 6, "neighbors per query")
 	loop := flag.String("loop", "closed", "load model: closed (worker pool) or open (Poisson arrivals)")
 	concurrency := flag.Int("concurrency", 16, "closed-loop workers / open-loop in-flight cap")
@@ -61,7 +64,15 @@ func main() {
 	ds := dataset.Generate(spec)
 
 	if *setup {
-		if err := setupRegion(ctx, c, *region, ds, *mode); err != nil {
+		var sharding *wire.ShardingConfig
+		if *shards > 0 {
+			sharding = &wire.ShardingConfig{
+				Shards:       *shards,
+				HedgeMs:      float64(*hedge) / float64(time.Millisecond),
+				AllowPartial: *allowPartial,
+			}
+		}
+		if err := setupRegion(ctx, c, *region, ds, *mode, sharding); err != nil {
 			log.Fatalf("setup: %v", err)
 		}
 	}
@@ -87,8 +98,8 @@ func main() {
 	}
 }
 
-func setupRegion(ctx context.Context, c *client.Client, name string, ds *dataset.Dataset, mode string) error {
-	_, err := c.CreateRegion(ctx, name, ds.Dim(), wire.RegionConfig{Mode: mode})
+func setupRegion(ctx context.Context, c *client.Client, name string, ds *dataset.Dataset, mode string, sharding *wire.ShardingConfig) error {
+	_, err := c.CreateRegion(ctx, name, ds.Dim(), wire.RegionConfig{Mode: mode, Sharding: sharding})
 	var se *client.StatusError
 	if errors.As(err, &se) && se.Code == 409 {
 		log.Printf("region %q already exists; reloading", name)
@@ -129,6 +140,7 @@ type runResult struct {
 	shed      uint64 // ErrOverloaded after the retry budget
 	failed    uint64 // any other error
 	dropped   uint64 // open loop only: arrivals past the in-flight cap
+	degraded  uint64 // 200s flagged Degraded (sharded regions with dead shards)
 	latencies []time.Duration
 }
 
@@ -137,6 +149,9 @@ func (r *runResult) report(w *os.File) {
 	fmt.Fprintf(w, "  attempted %d, ok %d, shed(503) %d, failed %d", r.attempted, r.ok, r.shed, r.failed)
 	if r.dropped > 0 {
 		fmt.Fprintf(w, ", dropped-at-client %d", r.dropped)
+	}
+	if r.degraded > 0 {
+		fmt.Fprintf(w, ", degraded %d", r.degraded)
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  throughput %.1f ok-queries/sec\n", float64(r.ok)/r.elapsed.Seconds())
@@ -160,12 +175,16 @@ type collector struct {
 	ok        atomic.Uint64
 	shed      atomic.Uint64
 	failed    atomic.Uint64
+	degraded  atomic.Uint64
 }
 
-func (col *collector) observe(err error, lat time.Duration) {
+func (col *collector) observe(resp wire.SearchResponse, err error, lat time.Duration) {
 	switch {
 	case err == nil:
 		col.ok.Add(1)
+		if resp.Degraded {
+			col.degraded.Add(1)
+		}
 		col.mu.Lock()
 		col.latencies = append(col.latencies, lat)
 		col.mu.Unlock()
@@ -191,8 +210,8 @@ func closedLoop(ctx context.Context, c *client.Client, region string, queries []
 			for i := w; time.Now().Before(deadline); i++ {
 				attempted.Add(1)
 				qStart := time.Now()
-				_, err := c.Search(ctx, region, queries[i%len(queries)], k)
-				col.observe(err, time.Since(qStart))
+				resp, err := c.SearchFull(ctx, region, queries[i%len(queries)], k)
+				col.observe(resp, err, time.Since(qStart))
 			}
 		}(w)
 	}
@@ -200,7 +219,7 @@ func closedLoop(ctx context.Context, c *client.Client, region string, queries []
 	return runResult{
 		model: "closed", elapsed: time.Since(start),
 		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
-		failed: col.failed.Load(), latencies: col.latencies,
+		failed: col.failed.Load(), degraded: col.degraded.Load(), latencies: col.latencies,
 	}
 }
 
@@ -235,14 +254,15 @@ func openLoop(ctx context.Context, c *client.Client, region string, queries [][]
 			defer wg.Done()
 			defer func() { <-inflight }()
 			qStart := time.Now()
-			_, err := c.Search(ctx, region, queries[i%len(queries)], k)
-			col.observe(err, time.Since(qStart))
+			resp, err := c.SearchFull(ctx, region, queries[i%len(queries)], k)
+			col.observe(resp, err, time.Since(qStart))
 		}(i)
 	}
 	wg.Wait()
 	return runResult{
 		model: "open", elapsed: time.Since(start),
 		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
-		failed: col.failed.Load(), dropped: dropped.Load(), latencies: col.latencies,
+		failed: col.failed.Load(), dropped: dropped.Load(),
+		degraded: col.degraded.Load(), latencies: col.latencies,
 	}
 }

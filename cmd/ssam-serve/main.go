@@ -4,6 +4,7 @@
 //
 //	ssam-serve -addr :8080 -max-inflight 256 -batch-window 2ms
 //	ssam-serve -preload glove:0.01            # serve a ready-built region
+//	ssam-serve -preload glove:0.01 -preload-shards 4 -preload-allow-partial
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the server first sheds new
 // search traffic with 503 (clients fail over), then drains in-flight
@@ -42,6 +43,11 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed load")
 	preload := flag.String("preload", "", "serve a ready-built region: dataset[:scale], dataset in {glove,gist,alexnet}")
 	preloadMode := flag.String("preload-mode", "linear", "indexing mode for the preloaded region")
+	preloadShards := flag.Int("preload-shards", 0, "partition the preloaded region across N scatter-gather shards (0 = unsharded)")
+	preloadPartition := flag.String("preload-partition", "", "shard partitioner: roundrobin or hash (default roundrobin)")
+	preloadDeadline := flag.Duration("preload-deadline", 0, "per-shard fan-out deadline for the preloaded region (0 = none)")
+	preloadHedge := flag.Duration("preload-hedge", 0, "hedge a shard that has not answered within this delay (0 = off)")
+	preloadAllowPartial := flag.Bool("preload-allow-partial", false, "serve degraded (partial) results when shards fail instead of erroring")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown drain budget")
 	flag.Parse()
 
@@ -53,7 +59,17 @@ func main() {
 	})
 
 	if *preload != "" {
-		if err := preloadRegion(srv, *preload, *preloadMode); err != nil {
+		var sharding *wire.ShardingConfig
+		if *preloadShards > 0 {
+			sharding = &wire.ShardingConfig{
+				Shards:       *preloadShards,
+				Partition:    *preloadPartition,
+				DeadlineMs:   float64(*preloadDeadline) / float64(time.Millisecond),
+				HedgeMs:      float64(*preloadHedge) / float64(time.Millisecond),
+				AllowPartial: *preloadAllowPartial,
+			}
+		}
+		if err := preloadRegion(srv, *preload, *preloadMode, sharding); err != nil {
 			log.Fatalf("preload %q: %v", *preload, err)
 		}
 	}
@@ -92,7 +108,7 @@ func main() {
 // million rows, so this goes through an in-process request cycle only
 // for create, then loads and builds through the same handlers the
 // wire uses — keeping one code path).
-func preloadRegion(srv *server.Server, arg, mode string) error {
+func preloadRegion(srv *server.Server, arg, mode string, sharding *wire.ShardingConfig) error {
 	name, scale := arg, 0.01
 	if i := strings.IndexByte(arg, ':'); i >= 0 {
 		name = arg[:i]
@@ -116,7 +132,12 @@ func preloadRegion(srv *server.Server, arg, mode string) error {
 	if _, err := ssam.ParseMode(mode); err != nil {
 		return err
 	}
-	log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s", name, spec.N, spec.Dim, scale, mode)
+	if sharding != nil {
+		log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s, %d shards",
+			name, spec.N, spec.Dim, scale, mode, sharding.Shards)
+	} else {
+		log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s", name, spec.N, spec.Dim, scale, mode)
+	}
 	ds := dataset.Generate(spec)
 
 	rows := make([][]float32, ds.N())
@@ -124,7 +145,7 @@ func preloadRegion(srv *server.Server, arg, mode string) error {
 		rows[i] = ds.Row(i)
 	}
 	if err := roundTrip(srv, "POST", "/regions", wire.CreateRegionRequest{
-		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode},
+		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode, Sharding: sharding},
 	}); err != nil {
 		return err
 	}

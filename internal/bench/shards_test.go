@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+func TestShardSweep(t *testing.T) {
+	rows, err := ShardSweep(Options{Scale: 0.001, Queries: 3})
+	if err != nil {
+		t.Fatalf("ShardSweep: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	if rows[0].Shards != 1 || rows[0].Speedup != 1.0 {
+		t.Fatalf("baseline row = %+v, want shards=1 speedup=1", rows[0])
+	}
+	for i, row := range rows {
+		if row.QPS <= 0 || row.PUs <= 0 {
+			t.Fatalf("row %d not populated: %+v", i, row)
+		}
+		// Sharding the scan across more modules must not slow it down.
+		if i > 0 && row.QPS < rows[i-1].QPS {
+			t.Fatalf("throughput regressed from %d to %d shards: %v < %v",
+				rows[i-1].Shards, row.Shards, row.QPS, rows[i-1].QPS)
+		}
+	}
+	rep, err := ShardSweepReport(Options{Scale: 0.001, Queries: 3})
+	if err != nil {
+		t.Fatalf("ShardSweepReport: %v", err)
+	}
+	if len(rep.Rows) != 4 || len(rep.Header) != 4 {
+		t.Fatalf("report shape = %dx%d, want 4 rows x 4 cols", len(rep.Rows), len(rep.Header))
+	}
+}

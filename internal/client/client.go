@@ -2,8 +2,9 @@
 // (internal/server). It speaks the internal/server/wire JSON format,
 // applies a per-request timeout, and transparently retries shed load:
 // a 503 response carries a Retry-After hint, and search/read calls
-// back off and retry up to a bounded attempt budget before surfacing
-// ErrOverloaded.
+// back off by a jittered fraction of the hint (so a fleet of clients
+// shed together does not retry in lockstep) and retry up to a bounded
+// attempt budget before surfacing ErrOverloaded.
 package client
 
 import (
@@ -13,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ssam/internal/server/wire"
@@ -42,6 +45,11 @@ type Client struct {
 	hc         *http.Client
 	maxRetries int           // retry budget for shed (503) requests
 	maxWait    time.Duration // cap on a single Retry-After backoff
+
+	// rng drives backoff jitter; sleep parks a retry (test seam).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Option configures a Client.
@@ -77,6 +85,18 @@ func New(base string, opts ...Option) *Client {
 		hc:         &http.Client{Timeout: 30 * time.Second},
 		maxRetries: 3,
 		maxWait:    2 * time.Second,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		if d <= 0 {
+			return ctx.Err()
+		}
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	for _, o := range opts {
 		o(c)
@@ -84,10 +104,26 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// do runs one JSON round trip. Shed responses (503) are retried with
-// the server's Retry-After backoff when retryable; mutation calls pass
-// retryable=false so a half-applied sequence is never repeated
-// blindly.
+// jittered spreads a Retry-After backoff over [hint/2, hint] (equal
+// jitter), so a fleet of clients shed at the same instant does not
+// retry in lockstep and re-overload the server as one thundering
+// herd. A zero hint stays zero (an immediate retry hint).
+func (c *Client) jittered(hint time.Duration) time.Duration {
+	if hint <= 0 {
+		return 0
+	}
+	half := hint / 2
+	c.rngMu.Lock()
+	d := half + time.Duration(c.rng.Int63n(int64(half)+1))
+	c.rngMu.Unlock()
+	return d
+}
+
+// do runs one JSON round trip. Shed responses (503) are retried after
+// the server's Retry-After backoff (with equal jitter applied, so
+// simultaneously-shed clients spread out) when retryable; mutation
+// calls pass retryable=false so a half-applied sequence is never
+// repeated blindly.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, retryable bool) error {
 	var body []byte
 	if in != nil {
@@ -103,10 +139,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 	var wait time.Duration
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-time.After(wait):
-			case <-ctx.Done():
-				return ctx.Err()
+			if err := c.sleep(ctx, wait); err != nil {
+				return err
 			}
 		}
 		code, hint, err := c.roundTrip(ctx, method, path, body, out)
@@ -119,7 +153,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 		if attempt == attempts-1 {
 			return fmt.Errorf("%w: %s %s", ErrOverloaded, method, path)
 		}
-		wait = hint
+		wait = c.jittered(hint)
 	}
 }
 
@@ -213,20 +247,36 @@ func (c *Client) Build(ctx context.Context, name string) (wire.RegionInfo, error
 	return info, err
 }
 
-// Search answers one kNN query, retrying shed load.
+// Search answers one kNN query, retrying shed load. Use SearchFull to
+// observe a sharded region's degradation signals.
 func (c *Client) Search(ctx context.Context, name string, query []float32, k int) ([]wire.Neighbor, error) {
+	resp, err := c.SearchFull(ctx, name, query, k)
+	return resp.Results, err
+}
+
+// SearchFull is Search returning the whole response, including the
+// Degraded flag, failed shard list, and hedge count a sharded region
+// reports in partial-result mode.
+func (c *Client) SearchFull(ctx context.Context, name string, query []float32, k int) (wire.SearchResponse, error) {
 	var resp wire.SearchResponse
 	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/search",
 		wire.SearchRequest{Query: query, K: k}, &resp, true)
-	return resp.Results, err
+	return resp, err
 }
 
 // SearchBatch answers an explicit query batch, retrying shed load.
 func (c *Client) SearchBatch(ctx context.Context, name string, queries [][]float32, k int) ([][]wire.Neighbor, error) {
+	resp, err := c.SearchBatchFull(ctx, name, queries, k)
+	return resp.Results, err
+}
+
+// SearchBatchFull is SearchBatch returning the whole response with a
+// sharded region's degradation signals.
+func (c *Client) SearchBatchFull(ctx context.Context, name string, queries [][]float32, k int) (wire.SearchBatchResponse, error) {
 	var resp wire.SearchBatchResponse
 	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/searchbatch",
 		wire.SearchBatchRequest{Queries: queries, K: k}, &resp, true)
-	return resp.Results, err
+	return resp, err
 }
 
 // Free releases the region (nfree).

@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -94,5 +96,75 @@ func TestRetryAfterCapped(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("client slept %v; Retry-After cap not applied", elapsed)
+	}
+}
+
+// fakeClock records retry backoffs instead of sleeping, standing in
+// for the wall clock so jitter is observable without waiting.
+type fakeClock struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.sleeps = append(f.sleeps, d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+// TestRetryBackoffJitter pins the thundering-herd defense: every
+// Retry-After backoff must land in [hint/2, hint] (equal jitter), and
+// the waits must not all collapse onto one value — clients shed at the
+// same instant have to spread out.
+func TestRetryBackoffJitter(t *testing.T) {
+	const hintSecs = 2
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	const retries = 40
+	clock := &fakeClock{}
+	c := New(ts.URL, WithRetries(retries), WithMaxRetryWait(5*time.Second))
+	c.sleep = clock.sleep
+	c.rng = rand.New(rand.NewSource(1)) // deterministic spread
+
+	if _, err := c.Search(context.Background(), "r", []float32{1}, 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("search against an always-shedding server = %v, want ErrOverloaded", err)
+	}
+	if len(clock.sleeps) != retries {
+		t.Fatalf("recorded %d backoffs, want %d", len(clock.sleeps), retries)
+	}
+	hint := hintSecs * time.Second
+	distinct := map[time.Duration]bool{}
+	for i, d := range clock.sleeps {
+		if d < hint/2 || d > hint {
+			t.Fatalf("backoff %d = %v outside the jitter window [%v, %v]", i, d, hint/2, hint)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all %d backoffs collapsed to %v: no jitter applied", retries, clock.sleeps[0])
+	}
+}
+
+// TestRetryJitterZeroHint: a zero Retry-After must stay an immediate
+// retry (the test servers above rely on it).
+func TestRetryJitterZeroHint(t *testing.T) {
+	ts, attempts := shedThenServe(1)
+	defer ts.Close()
+	clock := &fakeClock{}
+	c := New(ts.URL, WithRetries(2))
+	c.sleep = clock.sleep
+	if _, err := c.Search(context.Background(), "r", []float32{1}, 1); err != nil {
+		t.Fatalf("search = %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+	if len(clock.sleeps) != 1 || clock.sleeps[0] != 0 {
+		t.Fatalf("zero hint produced backoffs %v, want [0s]", clock.sleeps)
 	}
 }

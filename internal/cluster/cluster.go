@@ -1,0 +1,680 @@
+// Package cluster is the sharded scatter-gather layer over SSAM
+// regions: one logical dataset partitioned across N ssam.Region
+// shards — each with its own simulated device module, modeling the
+// paper's composition of multiple cubes (Section IV, Fig. 4) — with
+// every query fanned out to all shards concurrently and the per-shard
+// top-k lists reduced to a global top-k on the host (Section III-D).
+//
+// Beyond the paper's fan-out/merge skeleton, the cluster carries the
+// robustness semantics a serving fleet needs:
+//
+//   - a per-shard deadline, so one wedged shard cannot stall a query;
+//   - optional hedged re-issue: when a shard has not answered within
+//     the hedge delay, the query is issued to it a second time and the
+//     first answer wins (modeling re-issue to a replica of the shard —
+//     on the simulator both attempts share the module, so hedging pays
+//     off when the slowness is in front of the device);
+//   - partial-result degradation: with AllowPartial set, a query whose
+//     shards partly fail still returns the merged results of the
+//     survivors, flagged Degraded with the failed shard list, instead
+//     of failing outright.
+//
+// Shard results carry shard-local row ids; the cluster remaps them to
+// global dataset ids, so exact-mode cluster searches are
+// indistinguishable from a single region over the whole dataset.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssam"
+	"ssam/internal/topk"
+)
+
+// ErrShardTimeout marks a shard that missed its per-shard deadline.
+var ErrShardTimeout = errors.New("cluster: shard deadline exceeded")
+
+// Partition selects how dataset rows map to shards.
+type Partition int
+
+const (
+	// RoundRobin assigns row i to shard i mod N — the default, and the
+	// layout the paper uses to stripe a dataset across vaults and cubes
+	// (every shard sees a representative sample of the data).
+	RoundRobin Partition = iota
+	// HashRows assigns each row by a hash of its bytes, the layout a
+	// content-addressed ingest pipeline would produce.
+	HashRows
+)
+
+// String returns the partition name.
+func (p Partition) String() string {
+	switch p {
+	case RoundRobin:
+		return "roundrobin"
+	case HashRows:
+		return "hash"
+	}
+	return "unknown"
+}
+
+// ParsePartition parses a partition name as produced by String.
+func ParsePartition(s string) (Partition, error) {
+	switch s {
+	case "", "roundrobin":
+		return RoundRobin, nil
+	case "hash":
+		return HashRows, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown partition %q", s)
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// Shards is the number of modules the dataset is partitioned
+	// across. Must be positive.
+	Shards int
+	// Partition selects the row-to-shard mapping (default RoundRobin).
+	Partition Partition
+	// ShardDeadline bounds each shard's time to answer one fan-out;
+	// a shard that misses it counts as failed. Zero disables it.
+	ShardDeadline time.Duration
+	// HedgeAfter, when positive, re-issues a query to a shard that has
+	// not answered within this delay; the first answer wins.
+	HedgeAfter time.Duration
+	// AllowPartial degrades instead of failing: queries with failed
+	// shards return the survivors' merged results with Degraded set.
+	// Without it, any shard failure fails the query. A query whose
+	// shards all fail is an error either way.
+	AllowPartial bool
+}
+
+// Response is one scatter-gather answer.
+type Response struct {
+	// Results is the global top-k, ids in dataset (not shard) space.
+	Results []ssam.Result
+	// Degraded reports that FailedShards were excluded from the merge
+	// (only possible with Options.AllowPartial).
+	Degraded bool
+	// FailedShards lists the shard indexes that errored or timed out,
+	// ascending.
+	FailedShards []int
+	// Hedges counts hedged re-issues this query triggered.
+	Hedges int
+}
+
+// BatchResponse is Response for a query batch: degradation is
+// batch-scoped because a failed shard is missing from every query's
+// merge.
+type BatchResponse struct {
+	Results      [][]ssam.Result
+	Degraded     bool
+	FailedShards []int
+	Hedges       int
+}
+
+// Stats aggregates the simulated device execution of the last search
+// across shards: shards run in parallel, so the cluster's latency is
+// the slowest shard's, while instruction, traffic, and PU counts sum —
+// the one struct from which the paper's throughput-vs-modules scaling
+// story is reproduced.
+type Stats struct {
+	// PerShard holds each shard's DeviceStats (zero for host shards
+	// and for shards excluded from a degraded query).
+	PerShard []ssam.DeviceStats
+	// Combined has Cycles/Seconds as the max over shards and the
+	// remaining fields summed.
+	Combined ssam.DeviceStats
+}
+
+// Throughput returns queries/second implied by the combined latency.
+func (s Stats) Throughput() float64 {
+	if s.Combined.Seconds <= 0 {
+		return 0
+	}
+	return 1 / s.Combined.Seconds
+}
+
+// ShardStat is one shard's serving-side view for /statsz.
+type ShardStat struct {
+	Shard    int
+	Len      int    // rows resident on the shard
+	InFlight int    // fan-outs currently executing
+	Queries  uint64 // fan-outs served (including failed)
+	Failures uint64 // errored fan-outs (timeouts included)
+	Timeouts uint64 // fan-outs that missed the shard deadline
+	Hedges   uint64 // hedged re-issues launched
+	// AvgLatency is the mean fan-out latency over the shard's lifetime.
+	AvgLatency time.Duration
+}
+
+// shard is one partition: a private region plus the local-to-global id
+// map and serving counters.
+type shard struct {
+	region *ssam.Region
+	ids    []int // global dataset id per shard-local row
+
+	inFlight atomic.Int64
+	queries  atomic.Uint64
+	failures atomic.Uint64
+	timeouts atomic.Uint64
+	hedges   atomic.Uint64
+	latNanos atomic.Int64 // cumulative fan-out latency
+}
+
+func (s *shard) empty() bool { return len(s.ids) == 0 }
+
+// Cluster is a set of SSAM region shards behind one search interface.
+// Like Region, it is not safe for concurrent mutation
+// (LoadFloat32/BuildIndex/Free), but Search and SearchBatch are safe
+// from many goroutines once the index is built.
+type Cluster struct {
+	dims   int
+	cfg    ssam.Config
+	opts   Options
+	shards []*shard
+	loaded bool
+	built  bool
+	freed  bool
+
+	// fault, when non-nil, runs before every shard search attempt with
+	// the shard index and attempt number (0 primary, 1 hedge) — the
+	// fault-injection hook: return an error to fail the attempt, block
+	// to simulate a straggler.
+	fault atomic.Pointer[func(shard, attempt int) error]
+
+	// attempts tracks every shard search attempt, including abandoned
+	// hedges and timed-out stragglers, so Free can drain them before
+	// tearing the shard regions down.
+	attempts sync.WaitGroup
+
+	mu        sync.Mutex
+	lastStats Stats
+}
+
+// New allocates a cluster of opts.Shards regions, each configured with
+// cfg (so Device execution gives every shard its own simulated
+// module). Hamming-metric configurations are not supported — the
+// cluster partitions float datasets.
+func New(dims int, cfg ssam.Config, opts Options) (*Cluster, error) {
+	if opts.Shards <= 0 {
+		return nil, fmt.Errorf("cluster: shards must be positive, got %d", opts.Shards)
+	}
+	if cfg.Metric == ssam.Hamming {
+		return nil, errors.New("cluster: Hamming regions cannot be sharded (float datasets only)")
+	}
+	if opts.Partition != RoundRobin && opts.Partition != HashRows {
+		return nil, fmt.Errorf("cluster: unknown partition %d", opts.Partition)
+	}
+	// Validate cfg/dims once up front with a probe region, so a bad
+	// config fails at New rather than at first Load.
+	probe, err := ssam.New(dims, cfg)
+	if err != nil {
+		return nil, err
+	}
+	probe.Free()
+	c := &Cluster{dims: dims, cfg: cfg, opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{}
+	}
+	return c, nil
+}
+
+// Dims returns the cluster's vector dimensionality.
+func (c *Cluster) Dims() int { return c.dims }
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Options returns the cluster's configuration.
+func (c *Cluster) Options() Options { return c.opts }
+
+// Len returns the number of loaded vectors across all shards.
+func (c *Cluster) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += len(s.ids)
+	}
+	return n
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook, called before every shard search attempt with the shard index
+// and the attempt number (0 primary, 1 hedge). Returning an error
+// fails that attempt; blocking simulates a straggler shard.
+func (c *Cluster) SetFaultHook(fn func(shard, attempt int) error) {
+	if fn == nil {
+		c.fault.Store(nil)
+		return
+	}
+	c.fault.Store(&fn)
+}
+
+// LoadFloat32 partitions a flattened row-major dataset across the
+// shards (nmemcpy, N ways). Reloading replaces the whole dataset.
+func (c *Cluster) LoadFloat32(data []float32) error {
+	if c.freed {
+		return ssam.ErrFreed
+	}
+	if len(data) == 0 || len(data)%c.dims != 0 {
+		return fmt.Errorf("cluster: data length %d not a positive multiple of dims %d", len(data), c.dims)
+	}
+	rows := len(data) / c.dims
+	parts := make([][]float32, len(c.shards))
+	ids := make([][]int, len(c.shards))
+	for i := 0; i < rows; i++ {
+		row := data[i*c.dims : (i+1)*c.dims]
+		si := c.shardOf(i, row)
+		parts[si] = append(parts[si], row...)
+		ids[si] = append(ids[si], i)
+	}
+	for si, s := range c.shards {
+		if s.region != nil {
+			s.region.Free()
+			s.region = nil
+		}
+		s.ids = ids[si]
+		if len(s.ids) == 0 {
+			continue // empty shard: skipped by build and search
+		}
+		region, err := ssam.New(c.dims, c.cfg)
+		if err != nil {
+			return err
+		}
+		if err := region.LoadFloat32(parts[si]); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", si, err)
+		}
+		s.region = region
+	}
+	c.loaded, c.built = true, false
+	return nil
+}
+
+// shardOf maps global row i (with its data) to a shard index.
+func (c *Cluster) shardOf(i int, row []float32) int {
+	if c.opts.Partition == RoundRobin {
+		return i % len(c.shards)
+	}
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range row {
+		bits := math.Float32bits(v)
+		buf[0], buf[1], buf[2], buf[3] = byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24)
+		h.Write(buf[:])
+	}
+	return int(h.Sum64() % uint64(len(c.shards)))
+}
+
+// BuildIndex builds every shard's index concurrently (nbuild_index, N
+// ways — on device shards each module lays out and assembles its own
+// kernels).
+func (c *Cluster) BuildIndex() error {
+	if c.freed {
+		return ssam.ErrFreed
+	}
+	if !c.loaded {
+		return errors.New("cluster: BuildIndex before load")
+	}
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for si, s := range c.shards {
+		if s.empty() {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, s *shard) {
+			defer wg.Done()
+			if err := s.region.BuildIndex(); err != nil {
+				errs[si] = fmt.Errorf("cluster: shard %d: %w", si, err)
+			}
+		}(si, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c.built = true
+	return nil
+}
+
+// SetChecks adjusts every shard's accuracy/throughput knob without
+// rebuilding (see Region.SetChecks).
+func (c *Cluster) SetChecks(n int) error {
+	if c.freed {
+		return ssam.ErrFreed
+	}
+	for si, s := range c.shards {
+		if s.empty() {
+			continue
+		}
+		if err := s.region.SetChecks(n); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// Search fans one query out to every shard and merges the per-shard
+// top-k into the global top-k (ascending distance, ties by ascending
+// id). See Options for the deadline/hedging/partial-result semantics.
+func (c *Cluster) Search(q []float32, k int) (Response, error) {
+	if err := c.checkQuery(len(q), k); err != nil {
+		return Response{}, err
+	}
+	outs, err := scatter(c, func(s *shard, attempt int) ([]ssam.Result, ssam.DeviceStats, error) {
+		res, st, err := s.region.SearchStats(q, k)
+		if err != nil {
+			return nil, st, err
+		}
+		return s.remap(res), st, nil
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	lists := make([][]ssam.Result, 0, len(outs.vals))
+	for _, l := range outs.vals {
+		lists = append(lists, l)
+	}
+	c.commitStats(outs.stats)
+	return Response{
+		Results:      topk.MergeSorted(k, lists...),
+		Degraded:     len(outs.failed) > 0,
+		FailedShards: outs.failed,
+		Hedges:       outs.hedges,
+	}, nil
+}
+
+// SearchBatch fans a whole batch out to every shard (one
+// Region.SearchBatch per shard) and merges per query. A shard that
+// fails or misses its deadline is missing from every query of the
+// batch, so degradation is batch-scoped.
+func (c *Cluster) SearchBatch(qs [][]float32, k int) (BatchResponse, error) {
+	if c.freed {
+		return BatchResponse{}, ssam.ErrFreed
+	}
+	if len(qs) == 0 {
+		return BatchResponse{}, errors.New("cluster: empty batch")
+	}
+	for _, q := range qs {
+		if err := c.checkQuery(len(q), k); err != nil {
+			return BatchResponse{}, err
+		}
+	}
+	outs, err := scatter(c, func(s *shard, attempt int) ([][]ssam.Result, ssam.DeviceStats, error) {
+		lists, err := s.region.SearchBatch(qs, k)
+		st := s.region.LastStats()
+		if err != nil {
+			return nil, st, err
+		}
+		for _, l := range lists {
+			s.remap(l)
+		}
+		return lists, st, nil
+	})
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	merged := make([][]ssam.Result, len(qs))
+	perQuery := make([][]ssam.Result, 0, len(outs.vals))
+	for qi := range qs {
+		perQuery = perQuery[:0]
+		for _, lists := range outs.vals {
+			if lists != nil {
+				perQuery = append(perQuery, lists[qi])
+			}
+		}
+		merged[qi] = topk.MergeSorted(k, perQuery...)
+	}
+	c.commitStats(outs.stats)
+	return BatchResponse{
+		Results:      merged,
+		Degraded:     len(outs.failed) > 0,
+		FailedShards: outs.failed,
+		Hedges:       outs.hedges,
+	}, nil
+}
+
+func (c *Cluster) checkQuery(qdims, k int) error {
+	if c.freed {
+		return ssam.ErrFreed
+	}
+	if !c.built {
+		return errors.New("cluster: Search before BuildIndex")
+	}
+	if qdims != c.dims {
+		return fmt.Errorf("cluster: query dim %d, want %d", qdims, c.dims)
+	}
+	if k <= 0 {
+		return errors.New("cluster: k must be positive")
+	}
+	return nil
+}
+
+// remap rewrites shard-local result ids to global dataset ids, in
+// place (shard search results are freshly allocated).
+func (s *shard) remap(res []ssam.Result) []ssam.Result {
+	for i := range res {
+		res[i].ID = s.ids[res[i].ID]
+	}
+	return res
+}
+
+// gather is the outcome of one scatter across all shards.
+type gather[T any] struct {
+	vals   []T // per shard; zero value for empty or failed shards
+	stats  []ssam.DeviceStats
+	failed []int
+	hedges int
+}
+
+// scatter runs op on every non-empty shard concurrently, applying the
+// deadline/hedge/partial-result policy, and collects the outcomes. It
+// returns an error when failures cannot be degraded away: any failure
+// without AllowPartial, or all shards failing.
+func scatter[T any](c *Cluster, op func(s *shard, attempt int) (T, ssam.DeviceStats, error)) (gather[T], error) {
+	g := gather[T]{vals: make([]T, len(c.shards)), stats: make([]ssam.DeviceStats, len(c.shards))}
+	outs := make([]shardOutcome[T], len(c.shards))
+	var wg sync.WaitGroup
+	active := 0
+	for si, s := range c.shards {
+		if s.empty() {
+			continue
+		}
+		active++
+		wg.Add(1)
+		go func(si int, s *shard) {
+			defer wg.Done()
+			outs[si] = runShard(c, si, s, op)
+		}(si, s)
+	}
+	if active == 0 {
+		return g, errors.New("cluster: no loaded shards")
+	}
+	wg.Wait()
+
+	var firstErr error
+	for si, s := range c.shards {
+		if s.empty() {
+			continue
+		}
+		out := &outs[si]
+		g.hedges += out.hedges
+		if out.err != nil {
+			g.failed = append(g.failed, si)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %d: %w", si, out.err)
+			}
+			continue
+		}
+		g.vals[si] = out.val
+		g.stats[si] = out.stats
+	}
+	sort.Ints(g.failed)
+	if firstErr != nil && (!c.opts.AllowPartial || len(g.failed) == active) {
+		return g, firstErr
+	}
+	return g, nil
+}
+
+// shardOutcome is one shard's fan-out result.
+type shardOutcome[T any] struct {
+	val    T
+	stats  ssam.DeviceStats
+	err    error
+	hedges int
+}
+
+// runShard executes op against one shard with the hedging and deadline
+// policy: the primary attempt is launched immediately; if it has not
+// answered within HedgeAfter a single hedge attempt is launched and
+// the first success wins (an error only surfaces once no attempt is
+// still outstanding); ShardDeadline bounds the whole fan-out.
+func runShard[T any](c *Cluster, si int, s *shard, op func(s *shard, attempt int) (T, ssam.DeviceStats, error)) shardOutcome[T] {
+	start := time.Now()
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		s.queries.Add(1)
+		s.latNanos.Add(int64(time.Since(start)))
+	}()
+
+	type attemptOut struct {
+		val   T
+		stats ssam.DeviceStats
+		err   error
+	}
+	ch := make(chan attemptOut, 2) // buffered: abandoned attempts never leak
+	launch := func(attempt int) {
+		c.attempts.Add(1)
+		go func() {
+			defer c.attempts.Done()
+			var out attemptOut
+			if hook := c.fault.Load(); hook != nil {
+				out.err = (*hook)(si, attempt)
+			}
+			if out.err == nil {
+				out.val, out.stats, out.err = op(s, attempt)
+			}
+			ch <- out
+		}()
+	}
+	launch(0)
+	outstanding := 1
+
+	var hedgeC, deadC <-chan time.Time
+	if c.opts.HedgeAfter > 0 {
+		ht := time.NewTimer(c.opts.HedgeAfter)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	if c.opts.ShardDeadline > 0 {
+		dt := time.NewTimer(c.opts.ShardDeadline)
+		defer dt.Stop()
+		deadC = dt.C
+	}
+
+	var out shardOutcome[T]
+	for {
+		select {
+		case a := <-ch:
+			outstanding--
+			if a.err == nil {
+				out.val, out.stats, out.err = a.val, a.stats, nil
+				return out
+			}
+			if outstanding == 0 {
+				out.err = a.err
+				s.failures.Add(1)
+				return out
+			}
+			// A hedge is still in flight; give it the chance to win.
+		case <-hedgeC:
+			hedgeC = nil
+			out.hedges++
+			s.hedges.Add(1)
+			launch(1)
+			outstanding++
+		case <-deadC:
+			out.err = ErrShardTimeout
+			s.failures.Add(1)
+			s.timeouts.Add(1)
+			return out
+		}
+	}
+}
+
+// commitStats aggregates per-shard device stats into LastStats.
+func (c *Cluster) commitStats(perShard []ssam.DeviceStats) {
+	st := Stats{PerShard: perShard}
+	for _, s := range perShard {
+		if s.Cycles > st.Combined.Cycles {
+			st.Combined.Cycles = s.Cycles
+		}
+		if s.Seconds > st.Combined.Seconds {
+			st.Combined.Seconds = s.Seconds
+		}
+		st.Combined.Instructions += s.Instructions
+		st.Combined.VectorInstructions += s.VectorInstructions
+		st.Combined.DRAMBytesRead += s.DRAMBytesRead
+		st.Combined.ProcessingUnits += s.ProcessingUnits
+	}
+	c.mu.Lock()
+	c.lastStats = st
+	c.mu.Unlock()
+}
+
+// LastStats returns the aggregated device stats of the last Search or
+// SearchBatch (all zero for Host execution).
+func (c *Cluster) LastStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.lastStats
+	st.PerShard = append([]ssam.DeviceStats(nil), st.PerShard...)
+	return st
+}
+
+// ShardStats returns each shard's serving-side counters.
+func (c *Cluster) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for si, s := range c.shards {
+		st := ShardStat{
+			Shard:    si,
+			Len:      len(s.ids),
+			InFlight: int(s.inFlight.Load()),
+			Queries:  s.queries.Load(),
+			Failures: s.failures.Load(),
+			Timeouts: s.timeouts.Load(),
+			Hedges:   s.hedges.Load(),
+		}
+		if st.Queries > 0 {
+			st.AvgLatency = time.Duration(uint64(s.latNanos.Load()) / st.Queries)
+		}
+		out[si] = st
+	}
+	return out
+}
+
+// Free releases every shard. It first waits for outstanding shard
+// attempts — abandoned hedges and timed-out stragglers included — to
+// return, so a wedged fault hook must be released before Free can
+// complete. Further operations return ssam.ErrFreed.
+func (c *Cluster) Free() {
+	c.freed = true
+	c.attempts.Wait()
+	for _, s := range c.shards {
+		if s.region != nil {
+			s.region.Free()
+			s.region = nil
+		}
+		s.ids = nil
+	}
+}

@@ -5,6 +5,15 @@
 // Retry-After once a bounded in-flight budget is exhausted, and
 // exposes serving metrics at /statsz.
 //
+// A region created with config.sharding is the sharded kind: the
+// dataset is partitioned across N internal/cluster shards (each its
+// own simulated module) and every query is scatter-gathered with a
+// global top-k merge, per-shard deadlines, optional hedging, and —
+// in partial-result mode — degraded responses that carry the failed
+// shard list instead of an error. Sharded regions bypass the
+// micro-batcher (the fan-out itself is the parallelism) and report
+// per-shard depth and latency in /statsz.
+//
 // The endpoint set is the paper's Fig. 4 driver interface lifted onto
 // HTTP verbs:
 //
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"ssam"
+	"ssam/internal/cluster"
 	"ssam/internal/server/batcher"
 	"ssam/internal/server/wire"
 )
@@ -83,6 +93,9 @@ type Server struct {
 }
 
 // regionEntry is one named region plus its serving attachments.
+// Exactly one of region and cluster is non-nil: cluster entries are
+// the sharded kind (config.sharding at create time) and scatter-gather
+// each query themselves instead of riding the micro-batcher.
 type regionEntry struct {
 	name    string
 	dims    int
@@ -92,9 +105,10 @@ type regionEntry struct {
 
 	mu      sync.Mutex // guards mutation (load/build/free) and the fields below
 	region  *ssam.Region
+	cluster *cluster.Cluster
 	data    []float32 // accumulated rows, so Append loads can restage
 	built   bool
-	batcher *batcher.Batcher // non-nil once built
+	batcher *batcher.Batcher // non-nil once built (unsharded regions only)
 }
 
 // New returns a ready-to-serve Server.
@@ -153,6 +167,9 @@ func (s *Server) Close() {
 		}
 		if e.region != nil {
 			e.region.Free()
+		}
+		if e.cluster != nil {
+			e.cluster.Free()
 		}
 		e.mu.Unlock()
 	}
@@ -216,6 +233,20 @@ func (s *Server) shed(w http.ResponseWriter, format string, args ...any) {
 	writeErr(w, http.StatusServiceUnavailable, format, args...)
 }
 
+func toShardingOptions(sc *wire.ShardingConfig) (cluster.Options, error) {
+	part, err := cluster.ParsePartition(sc.Partition)
+	if err != nil {
+		return cluster.Options{}, err
+	}
+	return cluster.Options{
+		Shards:        sc.Shards,
+		Partition:     part,
+		ShardDeadline: time.Duration(sc.DeadlineMs * float64(time.Millisecond)),
+		HedgeAfter:    time.Duration(sc.HedgeMs * float64(time.Millisecond)),
+		AllowPartial:  sc.AllowPartial,
+	}, nil
+}
+
 func toConfig(wc wire.RegionConfig) (ssam.Config, error) {
 	var cfg ssam.Config
 	var err error
@@ -267,19 +298,30 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	region, err := ssam.New(req.Dims, cfg)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
 	e := &regionEntry{
 		name: req.Name, dims: req.Dims, cfg: cfg, cfgWire: req.Config,
-		stats: &regionStats{}, region: region,
+		stats: &regionStats{},
+	}
+	if sc := req.Config.Sharding; sc != nil {
+		opts, err := toShardingOptions(sc)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if e.cluster, err = cluster.New(req.Dims, cfg, opts); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		if e.region, err = ssam.New(req.Dims, cfg); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 	s.mu.Lock()
 	if _, dup := s.regions[req.Name]; dup {
 		s.mu.Unlock()
-		region.Free()
+		e.free()
 		writeErr(w, http.StatusConflict, "region %q already exists", req.Name)
 		return
 	}
@@ -288,11 +330,28 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, e.info())
 }
 
-func (e *regionEntry) info() wire.RegionInfo {
-	return wire.RegionInfo{
-		Name: e.name, Dims: e.dims, Len: e.region.Len(), Built: e.built,
-		Config: e.cfgWire,
+// free releases the entry's backing store (caller holds e.mu or has
+// exclusive ownership).
+func (e *regionEntry) free() {
+	if e.region != nil {
+		e.region.Free()
 	}
+	if e.cluster != nil {
+		e.cluster.Free()
+	}
+}
+
+func (e *regionEntry) info() wire.RegionInfo {
+	info := wire.RegionInfo{
+		Name: e.name, Dims: e.dims, Built: e.built, Config: e.cfgWire,
+	}
+	if e.cluster != nil {
+		info.Len = e.cluster.Len()
+		info.Shards = e.cluster.Shards()
+	} else {
+		info.Len = e.region.Len()
+	}
+	return info
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -349,7 +408,13 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	for _, v := range req.Vectors {
 		e.data = append(e.data, v...)
 	}
-	if err := e.region.LoadFloat32(e.data); err != nil {
+	var err error
+	if e.cluster != nil {
+		err = e.cluster.LoadFloat32(e.data)
+	} else {
+		err = e.region.LoadFloat32(e.data)
+	}
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -370,6 +435,17 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.cluster != nil {
+		// Sharded regions scatter-gather each query across shards
+		// themselves; the micro-batcher stays out of the way.
+		if err := e.cluster.BuildIndex(); err != nil {
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		}
+		e.built = true
+		writeJSON(w, http.StatusOK, e.info())
+		return
+	}
 	if err := e.region.BuildIndex(); err != nil {
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
@@ -402,22 +478,23 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		e.batcher.Close()
 		e.batcher = nil
 	}
-	e.region.Free()
+	e.free()
 	e.built = false
 	e.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // searchable snapshots the entry's serving state; it reports an error
-// response when the region has no built index yet.
-func (e *regionEntry) searchable(w http.ResponseWriter) (*batcher.Batcher, *ssam.Region, bool) {
+// response when the region has no built index yet. Sharded entries
+// return a cluster and a nil batcher/region.
+func (e *regionEntry) searchable(w http.ResponseWriter) (*batcher.Batcher, *cluster.Cluster, *ssam.Region, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.built || e.batcher == nil {
+	if !e.built || (e.cluster == nil && e.batcher == nil) {
 		writeErr(w, http.StatusConflict, "region %q has no built index (POST .../build first)", e.name)
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return e.batcher, e.region, true
+	return e.batcher, e.cluster, e.region, true
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -443,8 +520,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	b, _, ok := e.searchable(w)
+	b, cl, _, ok := e.searchable(w)
 	if !ok {
+		return
+	}
+	if cl != nil {
+		resp, err := cl.Search(req.Query, req.K)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if resp.Degraded {
+			e.stats.recordDegraded()
+		}
+		e.stats.recordQueries(1, time.Since(start))
+		writeJSON(w, http.StatusOK, wire.SearchResponse{
+			Results:      toNeighbors(resp.Results),
+			Degraded:     resp.Degraded,
+			FailedShards: resp.FailedShards,
+			Hedges:       resp.Hedges,
+		})
 		return
 	}
 	res, err := b.Search(r.Context(), req.Query, req.K)
@@ -482,22 +577,38 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	_, region, ok := e.searchable(w)
+	_, cl, region, ok := e.searchable(w)
 	if !ok {
 		return
 	}
-	batch, err := region.SearchBatch(req.Queries, req.K)
+	resp := wire.SearchBatchResponse{}
+	var batch [][]ssam.Result
+	var err error
+	if cl != nil {
+		var br cluster.BatchResponse
+		if br, err = cl.SearchBatch(req.Queries, req.K); err == nil {
+			batch = br.Results
+			resp.Degraded = br.Degraded
+			resp.FailedShards = br.FailedShards
+			resp.Hedges = br.Hedges
+			if br.Degraded {
+				e.stats.recordDegraded()
+			}
+		}
+	} else {
+		batch, err = region.SearchBatch(req.Queries, req.K)
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	out := make([][]wire.Neighbor, len(batch))
+	resp.Results = make([][]wire.Neighbor, len(batch))
 	for i, res := range batch {
-		out[i] = toNeighbors(res)
+		resp.Results[i] = toNeighbors(res)
 	}
 	e.stats.recordBatch(len(req.Queries))
 	e.stats.recordQueries(len(req.Queries), time.Since(start))
-	writeJSON(w, http.StatusOK, wire.SearchBatchResponse{Results: out})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -518,12 +629,30 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	for name, e := range entries {
 		depth := 0
+		var shardStats []wire.ShardStats
 		e.mu.Lock()
 		if e.batcher != nil {
 			depth = e.batcher.Pending()
 		}
+		if e.cluster != nil {
+			for _, st := range e.cluster.ShardStats() {
+				depth += st.InFlight
+				shardStats = append(shardStats, wire.ShardStats{
+					Shard:        st.Shard,
+					Len:          st.Len,
+					InFlight:     st.InFlight,
+					Queries:      st.Queries,
+					Failures:     st.Failures,
+					Timeouts:     st.Timeouts,
+					Hedges:       st.Hedges,
+					AvgLatencyMs: float64(st.AvgLatency) / float64(time.Millisecond),
+				})
+			}
+		}
 		e.mu.Unlock()
-		resp.Regions[name] = e.stats.snapshot(depth)
+		rs := e.stats.snapshot(depth)
+		rs.Shards = shardStats
+		resp.Regions[name] = rs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -25,6 +25,7 @@ type regionStats struct {
 	mu       sync.Mutex
 	queries  uint64
 	batches  uint64
+	degraded uint64 // partial-result responses (sharded regions)
 	maxBatch int
 	hist     [len(histLes) + 1]uint64
 
@@ -55,6 +56,13 @@ func (s *regionStats) recordQueries(n int, lat time.Duration) {
 	if s.latN < latencySamples {
 		s.latN++
 	}
+	s.mu.Unlock()
+}
+
+// recordDegraded accounts one partial-result (degraded) response.
+func (s *regionStats) recordDegraded() {
+	s.mu.Lock()
+	s.degraded++
 	s.mu.Unlock()
 }
 
@@ -105,6 +113,7 @@ func (s *regionStats) snapshot(queueDepth int) wire.RegionStats {
 	return wire.RegionStats{
 		Queries:      s.queries,
 		Batches:      s.batches,
+		Degraded:     s.degraded,
 		QPS:          float64(recent) / qpsWindow,
 		QueueDepth:   queueDepth,
 		MaxBatchSeen: s.maxBatch,

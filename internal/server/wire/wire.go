@@ -15,6 +15,28 @@ type RegionConfig struct {
 	VectorLength int         `json:"vector_length,omitempty"` // device variant: 2|4|8|16
 	Workers      int         `json:"workers,omitempty"`
 	Index        IndexParams `json:"index,omitempty"`
+	// Sharding, when present, makes the region a scatter-gather
+	// cluster of independent shard regions (internal/cluster), each
+	// with its own simulated device module.
+	Sharding *ShardingConfig `json:"sharding,omitempty"`
+}
+
+// ShardingConfig configures a sharded region at create time.
+type ShardingConfig struct {
+	// Shards is the number of sub-regions the dataset is partitioned
+	// across (the paper's composed cubes). Must be positive.
+	Shards int `json:"shards"`
+	// Partition is "roundrobin" (default) or "hash".
+	Partition string `json:"partition,omitempty"`
+	// DeadlineMs bounds each shard's time to answer one query fan-out;
+	// 0 disables the per-shard deadline.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// HedgeMs, when positive, re-issues a query to a shard that has
+	// not answered within this delay (first answer wins).
+	HedgeMs float64 `json:"hedge_ms,omitempty"`
+	// AllowPartial returns merged results from surviving shards with
+	// Degraded set instead of failing the query when shards fail.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // IndexParams mirrors ssam.IndexParams.
@@ -50,6 +72,7 @@ type RegionInfo struct {
 	Dims   int          `json:"dims"`
 	Len    int          `json:"len"`
 	Built  bool         `json:"built"`
+	Shards int          `json:"shards,omitempty"` // 0 for unsharded regions
 	Config RegionConfig `json:"config"`
 }
 
@@ -66,9 +89,15 @@ type Neighbor struct {
 	Distance float64 `json:"distance"`
 }
 
-// SearchResponse answers a SearchRequest.
+// SearchResponse answers a SearchRequest. The degradation fields are
+// only set for sharded regions serving in partial-result mode.
 type SearchResponse struct {
 	Results []Neighbor `json:"results"`
+	// Degraded reports that FailedShards were excluded from the merge.
+	Degraded     bool  `json:"degraded,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
+	// Hedges counts hedged shard re-issues this query triggered.
+	Hedges int `json:"hedges,omitempty"`
 }
 
 // SearchBatchRequest carries an explicit query batch; it bypasses the
@@ -79,8 +108,13 @@ type SearchBatchRequest struct {
 }
 
 // SearchBatchResponse answers a SearchBatchRequest, one row per query.
+// Degradation is batch-scoped: a failed shard is missing from every
+// query's merge.
 type SearchBatchResponse struct {
-	Results [][]Neighbor `json:"results"`
+	Results      [][]Neighbor `json:"results"`
+	Degraded     bool         `json:"degraded,omitempty"`
+	FailedShards []int        `json:"failed_shards,omitempty"`
+	Hedges       int          `json:"hedges,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -105,6 +139,23 @@ type RegionStats struct {
 	BatchSizes   []HistogramBucket `json:"batch_sizes"`
 	LatencyP50Ms float64           `json:"latency_p50_ms"` // request latency incl. batching wait
 	LatencyP99Ms float64           `json:"latency_p99_ms"`
+	// Degraded counts partial-result responses served (sharded
+	// regions only).
+	Degraded uint64 `json:"degraded,omitempty"`
+	// Shards holds per-shard serving stats for sharded regions.
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one shard's block of a sharded region's stats.
+type ShardStats struct {
+	Shard        int     `json:"shard"`
+	Len          int     `json:"len"`       // rows resident on the shard
+	InFlight     int     `json:"in_flight"` // fan-outs currently executing (depth)
+	Queries      uint64  `json:"queries"`
+	Failures     uint64  `json:"failures"`
+	Timeouts     uint64  `json:"timeouts"`
+	Hedges       uint64  `json:"hedges"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
 }
 
 // StatsResponse is the /statsz body.

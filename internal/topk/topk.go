@@ -126,3 +126,25 @@ func Merge(k int, lists ...[]Result) []Result {
 	}
 	return s.Results()
 }
+
+// MergeSorted combines per-partition top-k lists into the global top-k
+// under the total order (ascending distance, ties by ascending id).
+// Unlike Merge, whose boundary tie-breaking depends on push order, the
+// result is independent of list order and of how candidates were
+// partitioned — the property the sharded scatter-gather layer
+// (internal/cluster) needs for cluster-vs-region equivalence.
+func MergeSorted(k int, lists ...[]Result) []Result {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]Result, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	SortResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

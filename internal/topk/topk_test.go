@@ -195,3 +195,27 @@ func TestSortResultsStable(t *testing.T) {
 		t.Fatalf("not sorted: %v", rs)
 	}
 }
+
+func TestMergeSortedDeterministic(t *testing.T) {
+	a := []Result{{ID: 0, Dist: 1}, {ID: 4, Dist: 3}}
+	b := []Result{{ID: 2, Dist: 1}, {ID: 1, Dist: 3}, {ID: 9, Dist: 3}}
+	want := []Result{{ID: 0, Dist: 1}, {ID: 2, Dist: 1}, {ID: 1, Dist: 3}}
+	for _, lists := range [][][]Result{{a, b}, {b, a}} {
+		got := MergeSorted(3, lists...)
+		if len(got) != len(want) {
+			t.Fatalf("MergeSorted returned %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MergeSorted returned %v, want %v (list order %v)", got, want, lists)
+			}
+		}
+	}
+}
+
+func TestMergeSortedShort(t *testing.T) {
+	got := MergeSorted(10, []Result{{ID: 1, Dist: 2}}, nil, []Result{{ID: 0, Dist: 1}})
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("MergeSorted with fewer candidates than k = %v", got)
+	}
+}

@@ -18,6 +18,21 @@ import (
 // ErrFreed is returned by operations on a freed region.
 var ErrFreed = errors.New("ssam: region has been freed")
 
+// BatchError reports a SearchBatch failure at a specific query. The
+// batch's queries before Index completed normally and their results
+// are returned alongside the error; queries from Index on were not
+// answered.
+type BatchError struct {
+	Index int // offset of the failing query within the batch
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("ssam: batch query %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // Region is an SSAM-enabled memory region (the nbuf of Fig. 4). It is
 // not safe for concurrent mutation (Load/BuildIndex/Free), and the
 // staged WriteQuery/Exec/ReadResult sequence assumes one caller; but
@@ -57,6 +72,10 @@ type Region struct {
 	query     []float32
 	queryBin  vec.Binary
 	lastRes   []Result
+
+	// batchFault, when non-nil, runs before each device-mode batch
+	// query (test seam for mid-batch failure injection).
+	batchFault func(i int) error
 }
 
 // New allocates an SSAM-enabled region for vectors of the given
@@ -401,36 +420,46 @@ func (r *Region) ReadResult() ([]Result, error) {
 // index is built; Device execution serializes on the simulated module
 // and updates LastStats per query.
 func (r *Region) Search(q []float32, k int) ([]Result, error) {
+	res, _, err := r.SearchStats(q, k)
+	return res, err
+}
+
+// SearchStats is Search returning the query's simulated device stats
+// alongside the results (zero DeviceStats for Host execution). Unlike
+// Search followed by LastStats it cannot interleave with a concurrent
+// query's stats, which the sharded cluster layer relies on when many
+// scatter-gather queries share one shard region.
+func (r *Region) SearchStats(q []float32, k int) ([]Result, DeviceStats, error) {
 	if r.freed {
-		return nil, ErrFreed
+		return nil, DeviceStats{}, ErrFreed
 	}
 	if r.cfg.Metric == Hamming {
-		return nil, errors.New("ssam: float query on a Hamming region")
+		return nil, DeviceStats{}, errors.New("ssam: float query on a Hamming region")
 	}
 	if len(q) != r.dims {
-		return nil, fmt.Errorf("ssam: query dim %d, want %d", len(q), r.dims)
+		return nil, DeviceStats{}, fmt.Errorf("ssam: query dim %d, want %d", len(q), r.dims)
 	}
 	if !r.built {
-		return nil, errors.New("ssam: Search before BuildIndex")
+		return nil, DeviceStats{}, errors.New("ssam: Search before BuildIndex")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("ssam: k must be positive")
+		return nil, DeviceStats{}, fmt.Errorf("ssam: k must be positive")
 	}
 	if r.device != nil {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		res, st, err := r.deviceSearchRaw(q, k)
 		if err != nil {
-			return nil, err
+			return nil, DeviceStats{}, err
 		}
 		r.lastStats = toDeviceStats(st)
-		return res, nil
+		return res, r.lastStats, nil
 	}
 	search := r.hostSearcher()
 	if search == nil {
-		return nil, errors.New("ssam: no engine built")
+		return nil, DeviceStats{}, errors.New("ssam: no engine built")
 	}
-	return search(q, k), nil
+	return search(q, k), DeviceStats{}, nil
 }
 
 // SearchBinary is Search for Hamming regions.
@@ -472,7 +501,10 @@ func (r *Region) SearchBinary(q BinaryCode, k int) ([]Result, error) {
 // sequentially — the module broadcasts one query at a time, and as the
 // paper notes, batching buys little on a device that already saturates
 // its internal bandwidth per query. After a Device batch, LastStats
-// holds the accumulated execution.
+// holds the accumulated execution. A mid-batch device failure is
+// returned as a *BatchError naming the failing query; results for
+// queries before it are kept in the returned slice and the stats they
+// accumulated are committed.
 func (r *Region) SearchBatch(qs [][]float32, k int) ([][]Result, error) {
 	if r.freed {
 		return nil, ErrFreed
@@ -495,9 +527,21 @@ func (r *Region) SearchBatch(qs [][]float32, k int) ([][]Result, error) {
 		defer r.mu.Unlock()
 		var agg DeviceStats
 		for i, q := range qs {
-			res, st, err := r.deviceSearch(q, k)
+			var res []Result
+			var st ssamdev.QueryStats
+			err := error(nil)
+			if r.batchFault != nil {
+				err = r.batchFault(i)
+			}
+			if err == nil {
+				res, st, err = r.deviceSearch(q, k)
+			}
 			if err != nil {
-				return nil, err
+				// Keep what the batch computed so far: results for
+				// queries before i stand, and the stats they accumulated
+				// are committed rather than discarded.
+				r.lastStats = agg
+				return out, &BatchError{Index: i, Err: err}
 			}
 			out[i] = res
 			agg.Cycles += st.Cycles
