@@ -21,4 +21,24 @@ go test -race ./...
 # paying for real measurement iterations.
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+# Fuzz-seed smoke: replay every committed seed corpus through its fuzz
+# target (no fuzzing engine, just the corpus) so a decoder regression
+# against a known-tricky input fails the gate deterministically.
+go test -run='^Fuzz' -count=1 ./internal/server/wire
+
+# Coverage floor on the serving stack: the observability PR hardened
+# these packages test-first; don't let coverage rot below 80%.
+for pkg in ./internal/server ./internal/cluster ./internal/obs; do
+    pct=$(go test -count=1 -cover "$pkg" | awk '/coverage:/ {gsub(/%/,"",$5); print $5}')
+    if [ -z "$pct" ]; then
+        echo "ci.sh: no coverage reported for $pkg" >&2
+        exit 1
+    fi
+    if awk -v p="$pct" 'BEGIN { exit !(p < 80.0) }'; then
+        echo "ci.sh: coverage for $pkg is ${pct}%, below the 80% floor" >&2
+        exit 1
+    fi
+    echo "coverage $pkg: ${pct}%"
+done
+
 echo "ci.sh: all green"

@@ -27,8 +27,14 @@ import (
 
 	"ssam/internal/client"
 	"ssam/internal/dataset"
+	"ssam/internal/obs"
 	"ssam/internal/server/wire"
 )
+
+// stageNames orders the per-stage latency breakdown: admission wait,
+// micro-batcher queue and shared execution (unsharded regions), shard
+// fan-out and top-k merge (sharded regions).
+var stageNames = []string{"admission", "queue", "exec", "fanout", "merge"}
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "server base URL")
@@ -49,6 +55,7 @@ func main() {
 	retries := flag.Int("retries", 0, "client retry budget on shed load")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 1, "query-stream seed")
+	traceEvery := flag.Int("trace-every", 0, "force-trace every Nth query (X-SSAM-Trace) and report per-stage latency (0 = off)")
 	flag.Parse()
 
 	c := client.New(*addr, client.WithTimeout(*timeout), client.WithRetries(*retries))
@@ -81,9 +88,9 @@ func main() {
 	var res runResult
 	switch *loop {
 	case "closed":
-		res = closedLoop(ctx, c, *region, ds.Queries, *k, *concurrency, *duration)
+		res = closedLoop(ctx, c, *region, ds.Queries, *k, *concurrency, *duration, *traceEvery)
 	case "open":
-		res = openLoop(ctx, c, *region, ds.Queries, *k, *rate, *concurrency, *duration, *seed)
+		res = openLoop(ctx, c, *region, ds.Queries, *k, *rate, *concurrency, *duration, *seed, *traceEvery)
 	default:
 		log.Fatalf("unknown -loop %q (want closed or open)", *loop)
 	}
@@ -142,6 +149,7 @@ type runResult struct {
 	dropped   uint64 // open loop only: arrivals past the in-flight cap
 	degraded  uint64 // 200s flagged Degraded (sharded regions with dead shards)
 	latencies []time.Duration
+	stages    map[string][]float64 // per-stage durations (us) from sampled traces
 }
 
 func (r *runResult) report(w *os.File) {
@@ -166,12 +174,26 @@ func (r *runResult) report(w *os.File) {
 	fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+	if len(r.stages) > 0 {
+		fmt.Fprintf(w, "  stage breakdown from sampled traces:\n")
+		for _, stage := range stageNames {
+			ds := r.stages[stage]
+			if len(ds) == 0 {
+				continue
+			}
+			sort.Float64s(ds)
+			p50 := ds[len(ds)/2]
+			p99 := ds[min(len(ds)-1, len(ds)*99/100)]
+			fmt.Fprintf(w, "    %-9s n=%-5d p50 %8.1fus  p99 %8.1fus\n", stage, len(ds), p50, p99)
+		}
+	}
 }
 
 // collector accumulates outcomes from concurrent issuers.
 type collector struct {
 	mu        sync.Mutex
 	latencies []time.Duration
+	stages    map[string][]float64
 	ok        atomic.Uint64
 	shed      atomic.Uint64
 	failed    atomic.Uint64
@@ -188,6 +210,9 @@ func (col *collector) observe(resp wire.SearchResponse, err error, lat time.Dura
 		col.mu.Lock()
 		col.latencies = append(col.latencies, lat)
 		col.mu.Unlock()
+		if resp.Trace != nil {
+			col.observeTrace(resp.Trace)
+		}
 	case errors.Is(err, client.ErrOverloaded):
 		col.shed.Add(1)
 	default:
@@ -195,9 +220,35 @@ func (col *collector) observe(resp wire.SearchResponse, err error, lat time.Dura
 	}
 }
 
+// observeTrace harvests per-stage durations from one sampled span
+// tree: the admission wait off the root, then the batch span's direct
+// children — queue/exec on the micro-batched path, fanout/merge on
+// the sharded bypass.
+func (col *collector) observeTrace(td *obs.TraceData) {
+	if td.Root == nil {
+		return
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.stages == nil {
+		col.stages = make(map[string][]float64)
+	}
+	if a := td.Root.Find("admission"); a != nil {
+		col.stages["admission"] = append(col.stages["admission"], a.DurUs)
+	}
+	if b := td.Root.Find("batch"); b != nil {
+		for _, ch := range b.Children {
+			switch ch.Stage {
+			case "queue", "exec", "fanout", "merge":
+				col.stages[ch.Stage] = append(col.stages[ch.Stage], ch.DurUs)
+			}
+		}
+	}
+}
+
 // closedLoop runs workers back to back: measures saturation
 // throughput at a fixed multiprogramming level.
-func closedLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k, workers int, d time.Duration) runResult {
+func closedLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k, workers int, d time.Duration, traceEvery int) runResult {
 	var col collector
 	var attempted atomic.Uint64
 	deadline := time.Now().Add(d)
@@ -210,7 +261,14 @@ func closedLoop(ctx context.Context, c *client.Client, region string, queries []
 			for i := w; time.Now().Before(deadline); i++ {
 				attempted.Add(1)
 				qStart := time.Now()
-				resp, err := c.SearchFull(ctx, region, queries[i%len(queries)], k)
+				q := queries[i%len(queries)]
+				var resp wire.SearchResponse
+				var err error
+				if traceEvery > 0 && i%traceEvery == 0 {
+					resp, err = c.SearchTraced(ctx, region, q, k)
+				} else {
+					resp, err = c.SearchFull(ctx, region, q, k)
+				}
 				col.observe(resp, err, time.Since(qStart))
 			}
 		}(w)
@@ -219,14 +277,15 @@ func closedLoop(ctx context.Context, c *client.Client, region string, queries []
 	return runResult{
 		model: "closed", elapsed: time.Since(start),
 		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
-		failed: col.failed.Load(), degraded: col.degraded.Load(), latencies: col.latencies,
+		failed: col.failed.Load(), degraded: col.degraded.Load(),
+		latencies: col.latencies, stages: col.stages,
 	}
 }
 
 // openLoop issues arrivals on a Poisson process at the target rate,
 // regardless of completions (no coordinated omission); a bounded
 // in-flight cap keeps a melting server from exhausting the client.
-func openLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k int, rate float64, maxInFlight int, d time.Duration, seed int64) runResult {
+func openLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k int, rate float64, maxInFlight int, d time.Duration, seed int64, traceEvery int) runResult {
 	var col collector
 	var attempted, dropped atomic.Uint64
 	rng := rand.New(rand.NewSource(seed))
@@ -254,7 +313,14 @@ func openLoop(ctx context.Context, c *client.Client, region string, queries [][]
 			defer wg.Done()
 			defer func() { <-inflight }()
 			qStart := time.Now()
-			resp, err := c.SearchFull(ctx, region, queries[i%len(queries)], k)
+			q := queries[i%len(queries)]
+			var resp wire.SearchResponse
+			var err error
+			if traceEvery > 0 && i%traceEvery == 0 {
+				resp, err = c.SearchTraced(ctx, region, q, k)
+			} else {
+				resp, err = c.SearchFull(ctx, region, q, k)
+			}
 			col.observe(resp, err, time.Since(qStart))
 		}(i)
 	}
@@ -263,6 +329,6 @@ func openLoop(ctx context.Context, c *client.Client, region string, queries [][]
 		model: "open", elapsed: time.Since(start),
 		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
 		failed: col.failed.Load(), dropped: dropped.Load(),
-		degraded: col.degraded.Load(), latencies: col.latencies,
+		degraded: col.degraded.Load(), latencies: col.latencies, stages: col.stages,
 	}
 }

@@ -1,10 +1,12 @@
 // Command ssam-serve stands up the SSAM query server: named regions
-// behind HTTP/JSON with micro-batching, admission control, and
-// /statsz metrics (see internal/server).
+// behind HTTP/JSON with micro-batching, admission control, /statsz
+// and Prometheus /metrics, sampled request traces at /tracez, and
+// optional pprof (see internal/server).
 //
 //	ssam-serve -addr :8080 -max-inflight 256 -batch-window 2ms
 //	ssam-serve -preload glove:0.01            # serve a ready-built region
 //	ssam-serve -preload glove:0.01 -preload-shards 4 -preload-allow-partial
+//	ssam-serve -trace-sample 100 -pprof       # observe a running server
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the server first sheds new
 // search traffic with 503 (clients fail over), then drains in-flight
@@ -22,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -49,13 +52,18 @@ func main() {
 	preloadHedge := flag.Duration("preload-hedge", 0, "hedge a shard that has not answered within this delay (0 = off)")
 	preloadAllowPartial := flag.Bool("preload-allow-partial", false, "serve degraded (partial) results when shards fail instead of erroring")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown drain budget")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N search requests into /tracez (0 = only X-SSAM-Trace requests)")
+	traceRing := flag.Int("trace-ring", 128, "finished traces retained for /tracez")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	srv := server.New(server.Options{
-		MaxInFlight: *maxInFlight,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-		RetryAfter:  *retryAfter,
+		MaxInFlight:      *maxInFlight,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		RetryAfter:       *retryAfter,
+		TraceSampleEvery: *traceSample,
+		TraceRing:        *traceRing,
 	})
 
 	if *preload != "" {
@@ -74,7 +82,23 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// The pprof handlers ride an outer mux so the server's own routing
+	// (and admission control) stays untouched; profiling is opt-in
+	// because it exposes stacks and heap contents.
+	var handler http.Handler = srv
+	if *enablePprof {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", srv)
+		handler = outer
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -125,6 +125,12 @@ func (c *Client) jittered(hint time.Duration) time.Duration {
 // calls pass retryable=false so a half-applied sequence is never
 // repeated blindly.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, retryable bool) error {
+	return c.doHeader(ctx, method, path, nil, in, out, retryable)
+}
+
+// doHeader is do with extra request headers (e.g. X-SSAM-Trace to
+// force server-side trace sampling).
+func (c *Client) doHeader(ctx context.Context, method, path string, hdr map[string]string, in, out any, retryable bool) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -143,7 +149,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 				return err
 			}
 		}
-		code, hint, err := c.roundTrip(ctx, method, path, body, out)
+		code, hint, err := c.roundTrip(ctx, method, path, hdr, body, out)
 		if err != nil {
 			return err
 		}
@@ -160,13 +166,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 // roundTrip performs one attempt. A 503 returns (503, backoff, nil)
 // so the caller can wait out the server's Retry-After hint; other
 // failures are folded into err.
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, out any) (int, time.Duration, error) {
+func (c *Client) roundTrip(ctx context.Context, method, path string, hdr map[string]string, body []byte, out any) (int, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, 0, fmt.Errorf("client: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -260,6 +269,18 @@ func (c *Client) Search(ctx context.Context, name string, query []float32, k int
 func (c *Client) SearchFull(ctx context.Context, name string, query []float32, k int) (wire.SearchResponse, error) {
 	var resp wire.SearchResponse
 	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/search",
+		wire.SearchRequest{Query: query, K: k}, &resp, true)
+	return resp, err
+}
+
+// SearchTraced is SearchFull with the X-SSAM-Trace header set, so the
+// server force-samples the request and returns its span tree in
+// Response.Trace — the loadgen's per-stage latency breakdown reads
+// queue/batch/fanout/merge durations from it.
+func (c *Client) SearchTraced(ctx context.Context, name string, query []float32, k int) (wire.SearchResponse, error) {
+	var resp wire.SearchResponse
+	err := c.doHeader(ctx, http.MethodPost, "/regions/"+name+"/search",
+		map[string]string{"X-SSAM-Trace": "1"},
 		wire.SearchRequest{Query: query, K: k}, &resp, true)
 	return resp, err
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ssam"
+	"ssam/internal/obs"
 	"ssam/internal/topk"
 )
 
@@ -367,11 +368,19 @@ func (c *Cluster) SetChecks(n int) error {
 // top-k into the global top-k (ascending distance, ties by ascending
 // id). See Options for the deadline/hedging/partial-result semantics.
 func (c *Cluster) Search(q []float32, k int) (Response, error) {
+	return c.SearchTraced(q, k, nil)
+}
+
+// SearchTraced is Search for a request carrying a sampled trace: sp
+// (nil for untraced queries) gains a "fanout" child holding one
+// "shard" span per attempt and a "merge" child covering the top-k
+// reduction.
+func (c *Cluster) SearchTraced(q []float32, k int, sp *obs.Span) (Response, error) {
 	if err := c.checkQuery(len(q), k); err != nil {
 		return Response{}, err
 	}
-	outs, err := scatter(c, func(s *shard, attempt int) ([]ssam.Result, ssam.DeviceStats, error) {
-		res, st, err := s.region.SearchStats(q, k)
+	outs, err := scatter(c, sp, func(s *shard, attempt int, asp *obs.Span) ([]ssam.Result, ssam.DeviceStats, error) {
+		res, st, err := s.region.SearchStatsSpan(q, k, asp)
 		if err != nil {
 			return nil, st, err
 		}
@@ -385,8 +394,11 @@ func (c *Cluster) Search(q []float32, k int) (Response, error) {
 		lists = append(lists, l)
 	}
 	c.commitStats(outs.stats)
+	msp := sp.Start("merge", obs.Tag{Key: "lists", Value: len(lists)})
+	merged := topk.MergeSorted(k, lists...)
+	msp.End()
 	return Response{
-		Results:      topk.MergeSorted(k, lists...),
+		Results:      merged,
 		Degraded:     len(outs.failed) > 0,
 		FailedShards: outs.failed,
 		Hedges:       outs.hedges,
@@ -398,6 +410,12 @@ func (c *Cluster) Search(q []float32, k int) (Response, error) {
 // fails or misses its deadline is missing from every query of the
 // batch, so degradation is batch-scoped.
 func (c *Cluster) SearchBatch(qs [][]float32, k int) (BatchResponse, error) {
+	return c.SearchBatchTraced(qs, k, nil)
+}
+
+// SearchBatchTraced is SearchBatch with the same span threading as
+// SearchTraced; the "merge" span covers every query's reduction.
+func (c *Cluster) SearchBatchTraced(qs [][]float32, k int, sp *obs.Span) (BatchResponse, error) {
 	if c.freed {
 		return BatchResponse{}, ssam.ErrFreed
 	}
@@ -409,8 +427,8 @@ func (c *Cluster) SearchBatch(qs [][]float32, k int) (BatchResponse, error) {
 			return BatchResponse{}, err
 		}
 	}
-	outs, err := scatter(c, func(s *shard, attempt int) ([][]ssam.Result, ssam.DeviceStats, error) {
-		lists, err := s.region.SearchBatch(qs, k)
+	outs, err := scatter(c, sp, func(s *shard, attempt int, asp *obs.Span) ([][]ssam.Result, ssam.DeviceStats, error) {
+		lists, err := s.region.SearchBatchSpan(qs, k, asp)
 		st := s.region.LastStats()
 		if err != nil {
 			return nil, st, err
@@ -423,6 +441,7 @@ func (c *Cluster) SearchBatch(qs [][]float32, k int) (BatchResponse, error) {
 	if err != nil {
 		return BatchResponse{}, err
 	}
+	msp := sp.Start("merge", obs.Tag{Key: "queries", Value: len(qs)})
 	merged := make([][]ssam.Result, len(qs))
 	perQuery := make([][]ssam.Result, 0, len(outs.vals))
 	for qi := range qs {
@@ -434,6 +453,7 @@ func (c *Cluster) SearchBatch(qs [][]float32, k int) (BatchResponse, error) {
 		}
 		merged[qi] = topk.MergeSorted(k, perQuery...)
 	}
+	msp.End()
 	c.commitStats(outs.stats)
 	return BatchResponse{
 		Results:      merged,
@@ -479,12 +499,15 @@ type gather[T any] struct {
 // scatter runs op on every non-empty shard concurrently, applying the
 // deadline/hedge/partial-result policy, and collects the outcomes. It
 // returns an error when failures cannot be degraded away: any failure
-// without AllowPartial, or all shards failing.
-func scatter[T any](c *Cluster, op func(s *shard, attempt int) (T, ssam.DeviceStats, error)) (gather[T], error) {
+// without AllowPartial, or all shards failing. When sp is non-nil the
+// fan-out is recorded as a "fanout" child span holding one "shard"
+// span per attempt.
+func scatter[T any](c *Cluster, sp *obs.Span, op func(s *shard, attempt int, asp *obs.Span) (T, ssam.DeviceStats, error)) (gather[T], error) {
 	g := gather[T]{vals: make([]T, len(c.shards)), stats: make([]ssam.DeviceStats, len(c.shards))}
 	outs := make([]shardOutcome[T], len(c.shards))
 	var wg sync.WaitGroup
 	active := 0
+	fsp := sp.Start("fanout")
 	for si, s := range c.shards {
 		if s.empty() {
 			continue
@@ -493,13 +516,15 @@ func scatter[T any](c *Cluster, op func(s *shard, attempt int) (T, ssam.DeviceSt
 		wg.Add(1)
 		go func(si int, s *shard) {
 			defer wg.Done()
-			outs[si] = runShard(c, si, s, op)
+			outs[si] = runShard(c, si, s, fsp, op)
 		}(si, s)
 	}
 	if active == 0 {
+		fsp.End()
 		return g, errors.New("cluster: no loaded shards")
 	}
 	wg.Wait()
+	fsp.End()
 
 	var firstErr error
 	for si, s := range c.shards {
@@ -538,7 +563,7 @@ type shardOutcome[T any] struct {
 // answered within HedgeAfter a single hedge attempt is launched and
 // the first success wins (an error only surfaces once no attempt is
 // still outstanding); ShardDeadline bounds the whole fan-out.
-func runShard[T any](c *Cluster, si int, s *shard, op func(s *shard, attempt int) (T, ssam.DeviceStats, error)) shardOutcome[T] {
+func runShard[T any](c *Cluster, si int, s *shard, fsp *obs.Span, op func(s *shard, attempt int, asp *obs.Span) (T, ssam.DeviceStats, error)) shardOutcome[T] {
 	start := time.Now()
 	s.inFlight.Add(1)
 	defer func() {
@@ -555,6 +580,11 @@ func runShard[T any](c *Cluster, si int, s *shard, op func(s *shard, attempt int
 	ch := make(chan attemptOut, 2) // buffered: abandoned attempts never leak
 	launch := func(attempt int) {
 		c.attempts.Add(1)
+		// The attempt span is created here (before the goroutine) so its
+		// start covers goroutine scheduling; it ends when the attempt
+		// returns, even if the fan-out has already abandoned it — a
+		// straggler's true duration is exactly what a trace should show.
+		asp := fsp.Start("shard", obs.Tag{Key: "shard", Value: si}, obs.Tag{Key: "attempt", Value: attempt})
 		go func() {
 			defer c.attempts.Done()
 			var out attemptOut
@@ -562,8 +592,12 @@ func runShard[T any](c *Cluster, si int, s *shard, op func(s *shard, attempt int
 				out.err = (*hook)(si, attempt)
 			}
 			if out.err == nil {
-				out.val, out.stats, out.err = op(s, attempt)
+				out.val, out.stats, out.err = op(s, attempt, asp)
 			}
+			if out.err != nil {
+				asp.SetTag("error", out.err.Error())
+			}
+			asp.End()
 			ch <- out
 		}()
 	}
@@ -642,23 +676,30 @@ func (c *Cluster) LastStats() Stats {
 	return st
 }
 
+// ShardStat returns one shard's serving-side counters — the
+// allocation-free form metric callbacks scrape.
+func (c *Cluster) ShardStat(si int) ShardStat {
+	s := c.shards[si]
+	st := ShardStat{
+		Shard:    si,
+		Len:      len(s.ids),
+		InFlight: int(s.inFlight.Load()),
+		Queries:  s.queries.Load(),
+		Failures: s.failures.Load(),
+		Timeouts: s.timeouts.Load(),
+		Hedges:   s.hedges.Load(),
+	}
+	if st.Queries > 0 {
+		st.AvgLatency = time.Duration(uint64(s.latNanos.Load()) / st.Queries)
+	}
+	return st
+}
+
 // ShardStats returns each shard's serving-side counters.
 func (c *Cluster) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(c.shards))
-	for si, s := range c.shards {
-		st := ShardStat{
-			Shard:    si,
-			Len:      len(s.ids),
-			InFlight: int(s.inFlight.Load()),
-			Queries:  s.queries.Load(),
-			Failures: s.failures.Load(),
-			Timeouts: s.timeouts.Load(),
-			Hedges:   s.hedges.Load(),
-		}
-		if st.Queries > 0 {
-			st.AvgLatency = time.Duration(uint64(s.latNanos.Load()) / st.Queries)
-		}
-		out[si] = st
+	for si := range c.shards {
+		out[si] = c.ShardStat(si)
 	}
 	return out
 }

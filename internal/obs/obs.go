@@ -1,0 +1,263 @@
+// Package obs is the serving stack's observability layer: a
+// lightweight, allocation-conscious request tracer (span trees with
+// monotonic timestamps and head-based sampling, retained in a bounded
+// in-memory ring for /tracez) and a dependency-free Prometheus-text
+// metrics registry (metrics.go).
+//
+// The tracing API is nil-safe end to end: an unsampled request carries
+// a nil *Trace, every Start/End/SetTag on nil receivers is a no-op,
+// and the instrumented query path pays only a nil check per hook. That
+// is what keeps the disabled-by-default overhead inside the budget
+// (DESIGN.md §8) — sampling off means no clock reads, no allocations,
+// no locks.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tag is one key/value annotation on a span (shard index, attempt
+// number, batch size, ...). Values must be JSON-marshalable.
+type Tag struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed stage of a traced request. Spans form a tree under
+// the trace's root; children may start concurrently (per-shard fan-out
+// attempts). All methods are safe on a nil receiver and safe for
+// concurrent use — mutation is serialized on the owning trace.
+type Span struct {
+	tr       *Trace
+	stage    string
+	tags     []Tag
+	start    time.Time
+	end      time.Time
+	children []*Span
+}
+
+// Trace is one request's span tree. A nil *Trace (unsampled request)
+// is valid everywhere and costs nothing.
+type Trace struct {
+	mu    sync.Mutex
+	id    uint64
+	name  string
+	start time.Time
+	root  *Span
+}
+
+// Root returns the trace's root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Start opens a child span at the current monotonic time. It returns
+// nil — still safe to use — when the receiver is nil.
+func (s *Span) Start(stage string, tags ...Tag) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{tr: s.tr, stage: stage, tags: tags, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, child)
+	s.tr.mu.Unlock()
+	return child
+}
+
+// End closes the span. Ending twice keeps the first end time; ending
+// after the trace was finished is harmless (the snapshot is already
+// taken).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetTag appends a tag to the span.
+func (s *Span) SetTag(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.tags = append(s.tags, Tag{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// SpanData is the exported (JSON) form of one span. Times are offsets
+// from the trace start in microseconds, from the monotonic clock.
+type SpanData struct {
+	Stage    string         `json:"stage"`
+	StartUs  float64        `json:"start_us"`
+	DurUs    float64        `json:"dur_us"`
+	Tags     map[string]any `json:"tags,omitempty"`
+	Children []*SpanData    `json:"children,omitempty"`
+}
+
+// Find returns the first span with the given stage name in a
+// depth-first walk of the subtree, or nil.
+func (d *SpanData) Find(stage string) *SpanData {
+	if d == nil {
+		return nil
+	}
+	if d.Stage == stage {
+		return d
+	}
+	for _, c := range d.Children {
+		if m := c.Find(stage); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindAll returns every span with the given stage name in a
+// depth-first walk of the subtree.
+func (d *SpanData) FindAll(stage string) []*SpanData {
+	if d == nil {
+		return nil
+	}
+	var out []*SpanData
+	if d.Stage == stage {
+		out = append(out, d)
+	}
+	for _, c := range d.Children {
+		out = append(out, c.FindAll(stage)...)
+	}
+	return out
+}
+
+// TraceData is the exported (JSON) form of one finished trace.
+type TraceData struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurUs float64   `json:"dur_us"`
+	Root  *SpanData `json:"root"`
+}
+
+// Tracer hands out sampled traces and retains finished ones in a
+// bounded ring. A nil *Tracer never samples.
+type Tracer struct {
+	every int64 // ambient sampling: 1 in every (0 = off)
+	seq   atomic.Uint64
+	ids   atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*TraceData // bounded, oldest overwritten
+	next int
+	n    int
+}
+
+// NewTracer returns a tracer that ambient-samples one request in
+// every (0 disables ambient sampling; forced traces still work) and
+// retains up to ringSize finished traces (default 128).
+func NewTracer(every, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 128
+	}
+	return &Tracer{every: int64(every), ring: make([]*TraceData, ringSize)}
+}
+
+// Trace starts a new trace when the request is sampled — forced, or
+// selected by head-based 1-in-every counting — and returns nil
+// otherwise. The returned trace's root span is already started.
+func (t *Tracer) Trace(name string, force bool, tags ...Tag) *Trace {
+	if t == nil {
+		return nil
+	}
+	if !force {
+		if t.every <= 0 {
+			return nil
+		}
+		if t.seq.Add(1)%uint64(t.every) != 0 {
+			return nil
+		}
+	}
+	tr := &Trace{id: t.ids.Add(1), name: name, start: time.Now()}
+	tr.root = &Span{tr: tr, stage: name, tags: tags, start: tr.start}
+	return tr
+}
+
+// Finish ends the trace's root span, converts the tree to TraceData,
+// stores it in the ring, and returns it. Nil-safe: a nil trace
+// returns nil. Spans still open (abandoned hedges, stragglers) are
+// closed at the root's end time in the snapshot.
+func (t *Tracer) Finish(tr *Trace) *TraceData {
+	if t == nil || tr == nil {
+		return nil
+	}
+	tr.root.End()
+	tr.mu.Lock()
+	data := &TraceData{
+		ID:    fmt.Sprintf("%08x", tr.id),
+		Name:  tr.name,
+		Start: tr.start,
+		DurUs: us(tr.root.start, tr.root.end, tr.root.end),
+		Root:  snapshotSpan(tr.root, tr.start, tr.root.end),
+	}
+	tr.mu.Unlock()
+
+	t.mu.Lock()
+	t.ring[t.next] = data
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+	return data
+}
+
+// Snapshot returns the retained traces, newest first.
+func (t *Tracer) Snapshot() []*TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*TraceData, 0, t.n)
+	for i := 1; i <= t.n; i++ {
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// us returns end-start in microseconds, substituting fallback for a
+// zero end (span never closed).
+func us(start, end, fallback time.Time) float64 {
+	if end.IsZero() {
+		end = fallback
+	}
+	return float64(end.Sub(start)) / float64(time.Microsecond)
+}
+
+// snapshotSpan converts a span subtree to SpanData (caller holds the
+// trace lock).
+func snapshotSpan(s *Span, traceStart, traceEnd time.Time) *SpanData {
+	d := &SpanData{
+		Stage:   s.stage,
+		StartUs: float64(s.start.Sub(traceStart)) / float64(time.Microsecond),
+		DurUs:   us(s.start, s.end, traceEnd),
+	}
+	if len(s.tags) > 0 {
+		d.Tags = make(map[string]any, len(s.tags))
+		for _, tg := range s.tags {
+			d.Tags[tg.Key] = tg.Value
+		}
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, snapshotSpan(c, traceStart, traceEnd))
+	}
+	return d
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// The entire tracing API must be a no-op on nil receivers: that is
+	// the disabled-by-default fast path.
+	var tracer *Tracer
+	tr := tracer.Trace("search", true)
+	if tr != nil {
+		t.Fatalf("nil tracer sampled a trace")
+	}
+	sp := tr.Root().Start("admission", Tag{"k", 5})
+	sp.SetTag("x", 1)
+	sp.End()
+	child := sp.Start("inner")
+	child.End()
+	if got := tracer.Finish(tr); got != nil {
+		t.Fatalf("nil finish = %v", got)
+	}
+	if got := tracer.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tracer := NewTracer(0, 8)
+	tr := tracer.Trace("search", true, Tag{"region", "g"})
+	if tr == nil {
+		t.Fatal("forced trace not sampled")
+	}
+	a := tr.Root().Start("admission")
+	a.End()
+	b := tr.Root().Start("batch")
+	q := b.Start("queue")
+	q.End()
+	e := b.Start("exec", Tag{"size", 3})
+	e.End()
+	b.End()
+	leak := tr.Root().Start("straggler") // never ended
+
+	data := tracer.Finish(tr)
+	if data == nil || data.Root == nil {
+		t.Fatal("finish returned no data")
+	}
+	if data.Name != "search" || data.Root.Tags["region"] != "g" {
+		t.Fatalf("root metadata wrong: %+v", data)
+	}
+	if len(data.Root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3", len(data.Root.Children))
+	}
+	bd := data.Root.Find("batch")
+	if bd == nil || len(bd.Children) != 2 {
+		t.Fatalf("batch span missing children: %+v", bd)
+	}
+	if got := bd.Find("exec").Tags["size"]; got != 3 {
+		t.Fatalf("exec size tag = %v", got)
+	}
+	// Sequential siblings must not overlap.
+	ad, qd := data.Root.Find("admission"), bd.Find("queue")
+	if ad.StartUs+ad.DurUs > bd.StartUs {
+		t.Fatalf("admission [%v+%v] overlaps batch start %v", ad.StartUs, ad.DurUs, bd.StartUs)
+	}
+	if qd.StartUs+qd.DurUs > bd.Find("exec").StartUs {
+		t.Fatal("queue overlaps exec")
+	}
+	// The straggler is closed at the root's end.
+	sd := data.Root.Find("straggler")
+	if sd.DurUs < 0 || sd.StartUs+sd.DurUs > data.DurUs+1 {
+		t.Fatalf("straggler not clamped to trace end: %+v vs %v", sd, data.DurUs)
+	}
+	// Ending it late must not panic or corrupt anything.
+	leak.End()
+
+	if got := len(data.Root.FindAll("admission")); got != 1 {
+		t.Fatalf("FindAll admission = %d", got)
+	}
+	// The whole tree must be JSON-marshalable.
+	if _, err := json.Marshal(data); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tracer := NewTracer(4, 8)
+	sampled := 0
+	for i := 0; i < 40; i++ {
+		if tr := tracer.Trace("q", false); tr != nil {
+			sampled++
+			tracer.Finish(tr)
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("1-in-4 sampling over 40: got %d, want 10", sampled)
+	}
+	// Ambient sampling off: only forced traces sample.
+	off := NewTracer(0, 8)
+	if off.Trace("q", false) != nil {
+		t.Fatal("disabled tracer sampled")
+	}
+	if off.Trace("q", true) == nil {
+		t.Fatal("forced trace not sampled")
+	}
+}
+
+func TestRingBoundedNewestFirst(t *testing.T) {
+	tracer := NewTracer(0, 3)
+	for i := 0; i < 5; i++ {
+		tr := tracer.Trace(fmt.Sprintf("t%d", i), true)
+		tracer.Finish(tr)
+	}
+	got := tracer.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(got))
+	}
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if got[i].Name != want {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, got[i].Name, want)
+		}
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tracer := NewTracer(0, 4)
+	tr := tracer.Trace("fanout", true)
+	parent := tr.Root().Start("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := parent.Start("shard", Tag{"shard", i})
+			sp.SetTag("attempt", 0)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	parent.End()
+	data := tracer.Finish(tr)
+	if got := len(data.Root.FindAll("shard")); got != 16 {
+		t.Fatalf("shard spans = %d, want 16", got)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ssam_q_total", "queries", Labels{"region": "g"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("ssam_depth", "queue depth", nil)
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	r.CounterFunc("ssam_rej_total", "rejected", nil, func() uint64 { return 7 })
+	r.GaugeFunc("ssam_up", "uptime", nil, func() float64 { return 1 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ssam_q_total counter",
+		`ssam_q_total{region="g"} 5`,
+		"ssam_depth 2.5",
+		"ssam_rej_total 7",
+		"ssam_up 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ssam_lat_seconds", "latency", Labels{"region": "g"}, []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-0.5565) > 1e-12 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// le=0.001 counts v <= 0.001 (both 0.0005 and 0.001).
+	if got := h.BucketCounts(); got[0] != 2 || got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("buckets = %v", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`ssam_lat_seconds_bucket{region="g",le="0.001"} 2`,
+		`ssam_lat_seconds_bucket{region="g",le="0.01"} 3`,
+		`ssam_lat_seconds_bucket{region="g",le="0.1"} 4`,
+		`ssam_lat_seconds_bucket{region="g",le="+Inf"} 5`,
+		`ssam_lat_seconds_count{region="g"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ssam_q_total", "q", Labels{"region": "a"})
+	keep := r.Counter("ssam_q_total", "q", Labels{"region": "b"})
+	keep.Inc()
+	r.Histogram("ssam_lat", "l", Labels{"region": "a"}, []float64{1})
+	r.Unregister(Labels{"region": "a"})
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if strings.Contains(out, `region="a"`) {
+		t.Fatalf("region a survived unregister:\n%s", out)
+	}
+	if !strings.Contains(out, `ssam_q_total{region="b"} 1`) {
+		t.Fatalf("region b lost:\n%s", out)
+	}
+	if strings.Contains(out, "ssam_lat") {
+		t.Fatalf("empty family still rendered:\n%s", out)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x", Labels{"a": "1"})
+	for _, fn := range []func(){
+		func() { r.Counter("x_total", "x", Labels{"a": "1"}) }, // dup series
+		func() { r.Gauge("x_total", "x", Labels{"a": "2"}) },   // type clash
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// promLine matches a sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+na]+(?:[0-9]+)?|[+-]Inf|NaN)$`)
+
+// TestExpositionFormatParses runs a strict line-level parse over a
+// fully-populated registry — the same checker the server-level test
+// uses against /metrics.
+func TestExpositionFormatParses(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "with \"quotes\" and more", Labels{"r": `we"ird\`})
+	c.Add(3)
+	g := r.Gauge("b", "gauge", nil)
+	g.Set(-1.25)
+	h := r.Histogram("c_seconds", "hist", Labels{"r": "x"}, []float64{0.5, 1})
+	h.Observe(0.7)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	samples := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparsable sample line %q", line)
+		}
+		if !strings.HasSuffix(m[3], "Inf") {
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+		}
+		samples++
+	}
+	if samples < 7 { // 1 counter + 1 gauge + 3 buckets + sum + count
+		t.Fatalf("only %d samples rendered:\n%s", samples, b.String())
+	}
+}
+
+func TestTraceTiming(t *testing.T) {
+	tracer := NewTracer(0, 2)
+	tr := tracer.Trace("t", true)
+	sp := tr.Root().Start("sleep")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	data := tracer.Finish(tr)
+	d := data.Root.Find("sleep")
+	if d.DurUs < 1500 {
+		t.Fatalf("sleep span %vus, want >= 1500us", d.DurUs)
+	}
+	if data.DurUs < d.DurUs {
+		t.Fatalf("trace dur %v < child dur %v", data.DurUs, d.DurUs)
+	}
+}

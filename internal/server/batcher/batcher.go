@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ssam"
+	"ssam/internal/obs"
 )
 
 // ErrClosed is returned by Search after Close.
@@ -66,8 +67,15 @@ type bucket struct {
 	k       int
 	queries [][]float32
 	waiters []chan outcome
+	traced  []tracedReq // span bookkeeping for sampled requests only
 	timer   *time.Timer
 }
+
+// tracedReq tracks one sampled request's spans through the batch:
+// queue (enqueue → flush) and exec (the shared SearchFunc call), both
+// children of the request's batch span. Untraced requests never enter
+// the list, so tracing off costs the batcher nothing.
+type tracedReq struct{ batch, queue, exec *obs.Span }
 
 type outcome struct {
 	res []ssam.Result
@@ -95,6 +103,14 @@ func New(search SearchFunc, opts Options) *Batcher {
 // ctx is done; the query still executes with its batch, but the result
 // is discarded). Safe for concurrent use.
 func (b *Batcher) Search(ctx context.Context, q []float32, k int) ([]ssam.Result, error) {
+	return b.SearchSpan(ctx, q, k, nil)
+}
+
+// SearchSpan is Search for a request carrying a sampled trace: sp (the
+// request's "batch" span, nil for untraced requests) gains a "queue"
+// child covering enqueue → flush and an "exec" child covering the
+// shared batch execution, tagged with the batch size.
+func (b *Batcher) SearchSpan(ctx context.Context, q []float32, k int, sp *obs.Span) ([]ssam.Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("batcher: k must be positive, got %d", k)
 	}
@@ -113,6 +129,9 @@ func (b *Batcher) Search(ctx context.Context, q []float32, k int) ([]ssam.Result
 	}
 	bk.queries = append(bk.queries, q)
 	bk.waiters = append(bk.waiters, ch)
+	if sp != nil {
+		bk.traced = append(bk.traced, tracedReq{batch: sp, queue: sp.Start("queue")})
+	}
 	b.pending++
 	full := len(bk.queries) >= b.maxBatch
 	if full {
@@ -153,9 +172,18 @@ func (b *Batcher) flushExpired(bk *bucket) {
 // error) out to every waiter. Waiter channels are buffered, so a
 // departed (ctx-cancelled) waiter never blocks the batch.
 func (b *Batcher) run(bk *bucket) {
+	size := len(bk.queries)
+	for i := range bk.traced {
+		tr := &bk.traced[i]
+		tr.queue.End()
+		tr.exec = tr.batch.Start("exec", obs.Tag{Key: "batch_size", Value: size})
+	}
 	start := time.Now()
 	results, err := b.search(bk.queries, bk.k)
 	elapsed := time.Since(start)
+	for i := range bk.traced {
+		bk.traced[i].exec.End()
+	}
 	if err == nil && len(results) != len(bk.queries) {
 		err = fmt.Errorf("batcher: search returned %d results for %d queries", len(results), len(bk.queries))
 	}

@@ -1,0 +1,96 @@
+package server
+
+// This file is the Prometheus wiring: which obs registry series the
+// server exposes at /metrics and how they map onto existing serving
+// state. Counters and histograms that the request path increments
+// live in regionStats (stats.go); everything here is callback-backed
+// — sampled at scrape time from state the server already maintains —
+// so /metrics and /statsz always agree.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"ssam/internal/obs"
+)
+
+// registerServerMetrics registers the server-scoped (unlabeled)
+// series. Called once from New.
+func (s *Server) registerServerMetrics() {
+	reg := s.registry
+	reg.GaugeFunc("ssam_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("ssam_inflight", "Search requests currently admitted.", nil,
+		func() float64 { return float64(len(s.sem)) })
+	reg.GaugeFunc("ssam_inflight_max", "Admission budget (requests shed beyond it).", nil,
+		func() float64 { return float64(s.opts.MaxInFlight) })
+	reg.CounterFunc("ssam_rejected_total", "Search requests shed with 503.", nil,
+		func() uint64 { return s.rejected.Load() })
+	reg.GaugeFunc("ssam_draining", "1 while the server is draining, else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+}
+
+// registerRegionMetrics registers the entry's callback-backed region
+// series: queue depth (batcher backlog plus shard in-flight), and for
+// sharded regions one series per shard over the cluster's atomic
+// counters. Called from handleCreate after the dup check, so a
+// rejected duplicate never registers anything; the matching
+// Unregister runs on free and Close.
+func (s *Server) registerRegionMetrics(e *regionEntry) {
+	lbl := obs.Labels{"region": e.name}
+	s.registry.GaugeFunc("ssam_region_queue_depth",
+		"Queries waiting in the micro-batcher plus shard fan-outs in flight, per region.", lbl,
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			depth := 0
+			if e.batcher != nil {
+				depth = e.batcher.Pending()
+			}
+			if e.cluster != nil {
+				for si := 0; si < e.cluster.Shards(); si++ {
+					depth += e.cluster.ShardStat(si).InFlight
+				}
+			}
+			return float64(depth)
+		})
+	if e.cluster == nil {
+		return
+	}
+	// The cluster pointer is fixed for the entry's lifetime and its
+	// counters are atomics, so the per-shard callbacks read it without
+	// e.mu; Unregister precedes Free, so no scrape outlives the shards.
+	cl := e.cluster
+	for si := 0; si < cl.Shards(); si++ {
+		si := si
+		slbl := obs.Labels{"region": e.name, "shard": strconv.Itoa(si)}
+		s.registry.CounterFunc("ssam_shard_queries_total", "Fan-outs served per shard (failed included).", slbl,
+			func() uint64 { return cl.ShardStat(si).Queries })
+		s.registry.CounterFunc("ssam_shard_failures_total", "Errored fan-outs per shard (timeouts included).", slbl,
+			func() uint64 { return cl.ShardStat(si).Failures })
+		s.registry.CounterFunc("ssam_shard_timeouts_total", "Fan-outs that missed the shard deadline.", slbl,
+			func() uint64 { return cl.ShardStat(si).Timeouts })
+		s.registry.CounterFunc("ssam_shard_hedges_total", "Hedged re-issues launched per shard.", slbl,
+			func() uint64 { return cl.ShardStat(si).Hedges })
+		s.registry.GaugeFunc("ssam_shard_inflight", "Fan-outs currently executing per shard.", slbl,
+			func() float64 { return float64(cl.ShardStat(si).InFlight) })
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.WritePrometheus(w)
+}
+
+// handleTracez serves the tracer's retained traces, newest first.
+func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.tracer.Snapshot())
+}

@@ -25,13 +25,24 @@
 //	GET    /regions[/{name}]         registry inspection
 //	DELETE /regions/{name}           nfree
 //	GET    /statsz                   per-region QPS, batch sizes, queue depth, p50/p99
+//	GET    /metrics                  Prometheus text exposition of the same counters
+//	GET    /tracez                   recent sampled traces (bounded ring)
 //	GET    /healthz                  liveness
+//
+// Observability (internal/obs) is threaded through the whole search
+// path: requests are head-sampled (Options.TraceSampleEvery) or
+// force-traced via the X-SSAM-Trace header, producing a span tree —
+// admission wait, batch queue/exec (or fan-out/merge for sharded
+// regions, with one span per shard attempt), engine execution — that
+// is retained for /tracez and, for forced traces, returned inline in
+// the response.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -40,9 +51,14 @@ import (
 
 	"ssam"
 	"ssam/internal/cluster"
+	"ssam/internal/obs"
 	"ssam/internal/server/batcher"
 	"ssam/internal/server/wire"
 )
+
+// TraceHeader forces sampling of the request that carries it (any
+// non-empty value); the response then embeds the finished trace.
+const TraceHeader = "X-SSAM-Trace"
 
 // Options tunes a Server. Zero values select the defaults.
 type Options struct {
@@ -57,6 +73,13 @@ type Options struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes caps request bodies (default 1 GiB; loads are big).
 	MaxBodyBytes int64
+	// TraceSampleEvery head-samples one search request in every N for
+	// the /tracez ring (0, the default, disables ambient sampling;
+	// X-SSAM-Trace requests are always traced).
+	TraceSampleEvery int
+	// TraceRing bounds how many finished traces /tracez retains
+	// (default 128).
+	TraceRing int
 }
 
 func (o *Options) fill() {
@@ -84,6 +107,9 @@ type Server struct {
 	mux   *http.ServeMux
 	sem   chan struct{} // admission tokens
 	start time.Time
+
+	tracer   *obs.Tracer
+	registry *obs.Registry
 
 	rejected atomic.Uint64
 	draining atomic.Bool
@@ -115,12 +141,15 @@ type regionEntry struct {
 func New(opts Options) *Server {
 	opts.fill()
 	s := &Server{
-		opts:    opts,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, opts.MaxInFlight),
-		start:   time.Now(),
-		regions: make(map[string]*regionEntry),
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		start:    time.Now(),
+		tracer:   obs.NewTracer(opts.TraceSampleEvery, opts.TraceRing),
+		registry: obs.NewRegistry(),
+		regions:  make(map[string]*regionEntry),
 	}
+	s.registerServerMetrics()
 	s.mux.HandleFunc("POST /regions", s.handleCreate)
 	s.mux.HandleFunc("GET /regions", s.handleList)
 	s.mux.HandleFunc("GET /regions/{name}", s.handleInfo)
@@ -130,6 +159,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /regions/{name}/search", s.handleSearch)
 	s.mux.HandleFunc("POST /regions/{name}/searchbatch", s.handleSearchBatch)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -161,6 +192,7 @@ func (s *Server) Close() {
 	s.regions = make(map[string]*regionEntry)
 	s.mu.Unlock()
 	for _, e := range entries {
+		s.registry.Unregister(obs.Labels{"region": e.name})
 		e.mu.Lock()
 		if e.batcher != nil {
 			e.batcher.Close()
@@ -187,13 +219,16 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
+// readBody slurps the request body for the strict wire decoders
+// (which reject unknown fields, trailing garbage, and non-finite
+// floats — see internal/server/wire/decode.go).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading request body: %v", err)
+		return nil, false
 	}
-	return true
+	return data, true
 }
 
 func (s *Server) entry(w http.ResponseWriter, r *http.Request) *regionEntry {
@@ -285,12 +320,13 @@ func toNeighbors(res []ssam.Result) []wire.Neighbor {
 // --- handlers ---
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req wire.CreateRegionRequest
-	if !readJSON(w, r, &req) {
+	data, ok := readBody(w, r)
+	if !ok {
 		return
 	}
-	if req.Name == "" {
-		writeErr(w, http.StatusBadRequest, "region name required")
+	req, err := wire.DecodeCreateRegion(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	cfg, err := toConfig(req.Config)
@@ -300,7 +336,6 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	e := &regionEntry{
 		name: req.Name, dims: req.Dims, cfg: cfg, cfgWire: req.Config,
-		stats: &regionStats{},
 	}
 	if sc := req.Config.Sharding; sc != nil {
 		opts, err := toShardingOptions(sc)
@@ -325,6 +360,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "region %q already exists", req.Name)
 		return
 	}
+	// Metric series are registered only after the dup check, so a
+	// rejected duplicate never leaves series behind (registering twice
+	// for one name would panic the registry).
+	e.stats = newRegionStats(s.registry, req.Name)
+	s.registerRegionMetrics(e)
 	s.regions[req.Name] = e
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, e.info())
@@ -386,12 +426,13 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if e == nil {
 		return
 	}
-	var req wire.LoadRequest
-	if !readJSON(w, r, &req) {
+	data, ok := readBody(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Vectors) == 0 {
-		writeErr(w, http.StatusBadRequest, "no vectors")
+	req, err := wire.DecodeLoad(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	for i, v := range req.Vectors {
@@ -408,7 +449,6 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	for _, v := range req.Vectors {
 		e.data = append(e.data, v...)
 	}
-	var err error
 	if e.cluster != nil {
 		err = e.cluster.LoadFloat32(e.data)
 	} else {
@@ -473,6 +513,11 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no region %q", name)
 		return
 	}
+	// Drop the metric series before freeing: scrape callbacks read the
+	// cluster's counters, and Unregister synchronizes with any render
+	// in progress (both hold the registry lock). Must run outside e.mu
+	// — the queue-depth callback locks e.mu under the registry lock.
+	s.registry.Unregister(obs.Labels{"region": name})
 	e.mu.Lock()
 	if e.batcher != nil {
 		e.batcher.Close()
@@ -503,30 +548,47 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if e == nil {
 		return
 	}
-	var req wire.SearchRequest
-	if !readJSON(w, r, &req) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeSearch(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(req.Query) != e.dims {
 		writeErr(w, http.StatusBadRequest, "query dim %d, want %d", len(req.Query), e.dims)
 		return
 	}
-	if req.K <= 0 {
-		writeErr(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
-		return
-	}
+	forced := r.Header.Get(TraceHeader) != ""
+	tr := s.tracer.Trace("search", forced,
+		obs.Tag{Key: "region", Value: e.name}, obs.Tag{Key: "k", Value: req.K})
+	root := tr.Root()
+
+	asp := root.Start("admission")
 	release := s.admit(w)
+	asp.End()
 	if release == nil {
+		s.tracer.Finish(tr)
 		return
 	}
 	defer release()
 	b, cl, _, ok := e.searchable(w)
 	if !ok {
+		s.tracer.Finish(tr)
 		return
 	}
 	if cl != nil {
-		resp, err := cl.Search(req.Query, req.K)
+		// Sharded queries bypass the micro-batcher: the fan-out itself
+		// is the parallelism, so the "batch" stage is a size-1 bypass
+		// holding the fanout and merge spans.
+		bsp := root.Start("batch",
+			obs.Tag{Key: "bypass", Value: true}, obs.Tag{Key: "size", Value: 1})
+		resp, err := cl.SearchTraced(req.Query, req.K, bsp)
+		bsp.End()
 		if err != nil {
+			s.tracer.Finish(tr)
 			writeErr(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
@@ -534,16 +596,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			e.stats.recordDegraded()
 		}
 		e.stats.recordQueries(1, time.Since(start))
-		writeJSON(w, http.StatusOK, wire.SearchResponse{
+		out := wire.SearchResponse{
 			Results:      toNeighbors(resp.Results),
 			Degraded:     resp.Degraded,
 			FailedShards: resp.FailedShards,
 			Hedges:       resp.Hedges,
-		})
+		}
+		if td := s.tracer.Finish(tr); forced {
+			out.Trace = td
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	res, err := b.Search(r.Context(), req.Query, req.K)
+	bsp := root.Start("batch")
+	res, err := b.SearchSpan(r.Context(), req.Query, req.K, bsp)
+	bsp.End()
 	if err != nil {
+		s.tracer.Finish(tr)
 		if errors.Is(err, r.Context().Err()) {
 			return // client went away; nothing useful to write
 		}
@@ -551,7 +620,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.stats.recordQueries(1, time.Since(start))
-	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: toNeighbors(res)})
+	out := wire.SearchResponse{Results: toNeighbors(res)}
+	if td := s.tracer.Finish(tr); forced {
+		out.Trace = td
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
@@ -560,33 +633,39 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if e == nil {
 		return
 	}
-	var req wire.SearchBatchRequest
-	if !readJSON(w, r, &req) {
+	data, ok := readBody(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, "no queries")
+	req, err := wire.DecodeSearchBatch(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.K <= 0 {
-		writeErr(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
-		return
-	}
+	forced := r.Header.Get(TraceHeader) != ""
+	tr := s.tracer.Trace("searchbatch", forced,
+		obs.Tag{Key: "region", Value: e.name}, obs.Tag{Key: "k", Value: req.K})
+	root := tr.Root()
+
+	asp := root.Start("admission")
 	release := s.admit(w)
+	asp.End()
 	if release == nil {
+		s.tracer.Finish(tr)
 		return
 	}
 	defer release()
 	_, cl, region, ok := e.searchable(w)
 	if !ok {
+		s.tracer.Finish(tr)
 		return
 	}
 	resp := wire.SearchBatchResponse{}
 	var batch [][]ssam.Result
-	var err error
+	bsp := root.Start("batch", obs.Tag{Key: "size", Value: len(req.Queries)})
 	if cl != nil {
 		var br cluster.BatchResponse
-		if br, err = cl.SearchBatch(req.Queries, req.K); err == nil {
+		if br, err = cl.SearchBatchTraced(req.Queries, req.K, bsp); err == nil {
 			batch = br.Results
 			resp.Degraded = br.Degraded
 			resp.FailedShards = br.FailedShards
@@ -596,9 +675,11 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		batch, err = region.SearchBatch(req.Queries, req.K)
+		batch, err = region.SearchBatchSpan(req.Queries, req.K, bsp)
 	}
+	bsp.End()
 	if err != nil {
+		s.tracer.Finish(tr)
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -608,6 +689,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	e.stats.recordBatch(len(req.Queries))
 	e.stats.recordQueries(len(req.Queries), time.Since(start))
+	if td := s.tracer.Finish(tr); forced {
+		resp.Trace = td
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -5,12 +5,23 @@ import (
 	"sync"
 	"time"
 
+	"ssam/internal/obs"
 	"ssam/internal/server/wire"
 )
 
 // histLes are the batch-size histogram bucket upper bounds; sizes
-// above the last bound land in a final +inf bucket.
+// above the last bound land in a final +inf bucket. The same bounds
+// back the /statsz batch_sizes array and the Prometheus
+// ssam_region_batch_size histogram.
 var histLes = [...]int{1, 2, 4, 8, 16, 32, 64}
+
+// latencyBounds are the request-latency buckets, in seconds, of
+// ssam_region_latency_seconds (sub-millisecond through seconds: the
+// micro-batched fast path sits in the first buckets, shard deadline
+// and hedge pathologies in the tail).
+var latencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
 
 const (
 	latencySamples = 2048 // sliding latency reservoir per region
@@ -18,16 +29,20 @@ const (
 	qpsSlots       = 16   // per-second ring (> qpsWindow to tolerate skew)
 )
 
-// regionStats accumulates per-region serving metrics: query and batch
-// counters, a trailing-window QPS estimate, a batch-size histogram,
-// and a sliding latency reservoir for percentile estimates.
+// regionStats accumulates per-region serving metrics. The counters and
+// histograms are obs registry series, so /statsz and /metrics report
+// from the same accumulators and can never disagree; the mutex guards
+// only what Prometheus has no vocabulary for — the trailing-window QPS
+// ring and the exact-percentile latency reservoir /statsz reports.
 type regionStats struct {
+	queries   *obs.Counter   // ssam_region_queries_total
+	batches   *obs.Counter   // ssam_region_batches_total
+	degraded  *obs.Counter   // ssam_region_degraded_total
+	batchSize *obs.Histogram // ssam_region_batch_size
+	latency   *obs.Histogram // ssam_region_latency_seconds
+
 	mu       sync.Mutex
-	queries  uint64
-	batches  uint64
-	degraded uint64 // partial-result responses (sharded regions)
 	maxBatch int
-	hist     [len(histLes) + 1]uint64
 
 	lat    [latencySamples]float64 // milliseconds, ring
 	latIdx int
@@ -37,14 +52,33 @@ type regionStats struct {
 	secCount [qpsSlots]uint64
 }
 
+// newRegionStats registers the region's metric series (labeled
+// region=<name>) and returns the accumulator. The series live until
+// the registry drops them via Unregister on region free.
+func newRegionStats(reg *obs.Registry, region string) *regionStats {
+	lbl := obs.Labels{"region": region}
+	sizeBounds := make([]float64, len(histLes))
+	for i, le := range histLes {
+		sizeBounds[i] = float64(le)
+	}
+	return &regionStats{
+		queries:   reg.Counter("ssam_region_queries_total", "Queries served, per region.", lbl),
+		batches:   reg.Counter("ssam_region_batches_total", "Batch executions, per region.", lbl),
+		degraded:  reg.Counter("ssam_region_degraded_total", "Partial-result (degraded) responses, per region.", lbl),
+		batchSize: reg.Histogram("ssam_region_batch_size", "Executed batch sizes, per region.", lbl, sizeBounds),
+		latency:   reg.Histogram("ssam_region_latency_seconds", "Request latency including batching wait, per region.", lbl, latencyBounds),
+	}
+}
+
 // recordQueries accounts n served queries sharing one observed
 // request latency (n == 1 for the micro-batched single-query path; n
 // == batch size for explicit batch requests).
 func (s *regionStats) recordQueries(n int, lat time.Duration) {
+	s.queries.Add(uint64(n))
+	s.latency.Observe(lat.Seconds())
 	now := time.Now().Unix()
 	ms := float64(lat) / float64(time.Millisecond)
 	s.mu.Lock()
-	s.queries += uint64(n)
 	slot := now % qpsSlots
 	if s.secSlot[slot] != now {
 		s.secSlot[slot] = now
@@ -61,23 +95,17 @@ func (s *regionStats) recordQueries(n int, lat time.Duration) {
 
 // recordDegraded accounts one partial-result (degraded) response.
 func (s *regionStats) recordDegraded() {
-	s.mu.Lock()
-	s.degraded++
-	s.mu.Unlock()
+	s.degraded.Inc()
 }
 
 // recordBatch accounts one executed batch of the given size.
 func (s *regionStats) recordBatch(size int) {
+	s.batches.Inc()
+	s.batchSize.Observe(float64(size))
 	s.mu.Lock()
-	s.batches++
 	if size > s.maxBatch {
 		s.maxBatch = size
 	}
-	i := 0
-	for i < len(histLes) && size > histLes[i] {
-		i++
-	}
-	s.hist[i]++
 	s.mu.Unlock()
 }
 
@@ -85,6 +113,14 @@ func (s *regionStats) recordBatch(size int) {
 // (it lives in the batcher, not here).
 func (s *regionStats) snapshot(queueDepth int) wire.RegionStats {
 	now := time.Now().Unix()
+
+	cells := s.batchSize.BucketCounts()
+	buckets := make([]wire.HistogramBucket, 0, len(cells))
+	for i, le := range histLes {
+		buckets = append(buckets, wire.HistogramBucket{Le: le, Count: cells[i]})
+	}
+	buckets = append(buckets, wire.HistogramBucket{Le: -1, Count: cells[len(histLes)]})
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -94,12 +130,6 @@ func (s *regionStats) snapshot(queueDepth int) wire.RegionStats {
 			recent += s.secCount[i]
 		}
 	}
-
-	buckets := make([]wire.HistogramBucket, 0, len(s.hist))
-	for i, le := range histLes {
-		buckets = append(buckets, wire.HistogramBucket{Le: le, Count: s.hist[i]})
-	}
-	buckets = append(buckets, wire.HistogramBucket{Le: -1, Count: s.hist[len(histLes)]})
 
 	p50, p99 := 0.0, 0.0
 	if s.latN > 0 {
@@ -111,9 +141,9 @@ func (s *regionStats) snapshot(queueDepth int) wire.RegionStats {
 	}
 
 	return wire.RegionStats{
-		Queries:      s.queries,
-		Batches:      s.batches,
-		Degraded:     s.degraded,
+		Queries:      s.queries.Value(),
+		Batches:      s.batches.Value(),
+		Degraded:     s.degraded.Value(),
 		QPS:          float64(recent) / qpsWindow,
 		QueueDepth:   queueDepth,
 		MaxBatchSeen: s.maxBatch,

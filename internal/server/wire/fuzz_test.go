@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeRequests holds every request decoder to the wire
+// contract: never panic on arbitrary bytes, and anything accepted
+// must survive a Marshal/Decode round trip unchanged — which is why
+// the decoders reject non-finite floats (encoding/json cannot encode
+// them) and trailing garbage. kind selects the payload family:
+// 'c' create, 'l' load, 's' search, 'b' batch; other bytes exercise
+// every decoder on the same input.
+func FuzzDecodeRequests(f *testing.F) {
+	seeds := []struct {
+		kind byte
+		body string
+	}{
+		{'c', `{"name":"glove","dims":100,"config":{"metric":"euclidean","mode":"kdtree","index":{"trees":4,"seed":7}}}`},
+		{'c', `{"name":"shardy","dims":8,"config":{"sharding":{"shards":4,"partition":"hash","deadline_ms":5.5,"hedge_ms":1.25,"allow_partial":true}}}`},
+		{'c', `{"name":"","dims":0}`},
+		{'c', `{"name":"x","dims":3,"config":{"sharding":{"shards":-1}}}`},
+		{'l', `{"vectors":[[1,2,3],[4,5,6]]}`},
+		{'l', `{"vectors":[[0.25,-1e9]],"append":true}`},
+		{'l', `{"vectors":[]}`},
+		{'s', `{"query":[1,2,3],"k":5}`},
+		{'s', `{"query":[],"k":0}`},
+		{'s', `{"query":[1e38,-1e-38],"k":1}`},
+		{'b', `{"queries":[[1,2],[3,4]],"k":2}`},
+		{'b', `{"queries":[[]],"k":1}`},
+		{'s', `{"query":[1],"k":1}garbage`},
+		{'s', `{"query":[1],"k":1,"unknown_field":true}`},
+		{'l', `{"vectors":[[1,2],[3]]}`},
+		{'c', `[]`},
+		{'b', `{"queries"`},
+		{'x', `null`},
+		{'x', `{"query":[1],"k":1}`},
+	}
+	for _, s := range seeds {
+		f.Add(s.kind, []byte(s.body))
+	}
+	f.Fuzz(func(t *testing.T, kind byte, data []byte) {
+		switch kind {
+		case 'c':
+			roundTrip(t, data, DecodeCreateRegion)
+		case 'l':
+			roundTrip(t, data, DecodeLoad)
+		case 's':
+			roundTrip(t, data, DecodeSearch)
+		case 'b':
+			roundTrip(t, data, DecodeSearchBatch)
+		default:
+			roundTrip(t, data, DecodeCreateRegion)
+			roundTrip(t, data, DecodeLoad)
+			roundTrip(t, data, DecodeSearch)
+			roundTrip(t, data, DecodeSearchBatch)
+		}
+	})
+}
+
+// roundTrip decodes data and, when accepted, requires the value to
+// re-encode and re-decode to exactly itself.
+func roundTrip[T any](t *testing.T, data []byte, decode func([]byte) (T, error)) {
+	t.Helper()
+	v, err := decode(data)
+	if err != nil {
+		return // rejected is fine; panicking is not
+	}
+	enc, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("accepted %q but cannot re-encode: %v", data, err)
+	}
+	back, err := decode(enc)
+	if err != nil {
+		t.Fatalf("re-encoded form %q rejected: %v", enc, err)
+	}
+	if !reflect.DeepEqual(v, back) {
+		t.Fatalf("round trip changed value:\n  first  %#v\n  second %#v", v, back)
+	}
+}

@@ -5,6 +5,8 @@
 // readable in curl transcripts.
 package wire
 
+import "ssam/internal/obs"
+
 // RegionConfig mirrors ssam.Config for region creation over the wire.
 // Only float-metric regions are servable: binary (Hamming-code)
 // payloads have no JSON vector representation here yet.
@@ -98,6 +100,9 @@ type SearchResponse struct {
 	FailedShards []int `json:"failed_shards,omitempty"`
 	// Hedges counts hedged shard re-issues this query triggered.
 	Hedges int `json:"hedges,omitempty"`
+	// Trace is the request's sampled span tree, present only when the
+	// request carried the X-SSAM-Trace header.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // SearchBatchRequest carries an explicit query batch; it bypasses the
@@ -115,6 +120,9 @@ type SearchBatchResponse struct {
 	Degraded     bool         `json:"degraded,omitempty"`
 	FailedShards []int        `json:"failed_shards,omitempty"`
 	Hedges       int          `json:"hedges,omitempty"`
+	// Trace is the request's sampled span tree, present only when the
+	// request carried the X-SSAM-Trace header.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -1,0 +1,179 @@
+package topk
+
+// Property tests holding Selector and MergeSorted to the naive
+// sort-and-truncate oracle across randomized sizes, heavy distance
+// ties, boundary k values, and arbitrary shard splits — the
+// correctness contract the sharded scatter-gather layer leans on.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// oracle is the naive reference: sort everything under the total
+// order (ascending distance, ties by ascending id) and truncate to k.
+func oracle(k int, all []Result) []Result {
+	sorted := append([]Result(nil), all...)
+	SortResults(sorted)
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+// randomCandidates draws n candidates with unique ids and distances
+// from a small discrete set, so duplicate distances (and boundary
+// ties) are the common case rather than the exception.
+func randomCandidates(rng *rand.Rand, n int) []Result {
+	out := make([]Result, n)
+	perm := rng.Perm(n * 2) // unique ids, not necessarily dense
+	for i := range out {
+		out[i] = Result{ID: perm[i], Dist: float64(rng.Intn(8)) / 4}
+	}
+	return out
+}
+
+// kValues covers the boundary cases for n candidates: 1, n-1, n, and
+// beyond n.
+func kValues(n int) []int {
+	ks := []int{1, n + 3}
+	if n > 1 {
+		ks = append(ks, n-1, n)
+	}
+	return ks
+}
+
+// TestSelectorMatchesOracle pushes random candidate streams through
+// the Selector and requires the retained distances to match the
+// oracle exactly. IDs are compared away from distance ties: a
+// boundary tie admits whichever candidate arrived first, which is
+// allowed to differ from the oracle's id order.
+func TestSelectorMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		cands := randomCandidates(rng, n)
+		for _, k := range kValues(n) {
+			s := New(k)
+			for _, c := range cands {
+				s.Push(c.ID, c.Dist)
+			}
+			got := s.Results()
+			want := oracle(k, cands)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: got %d results, want %d", n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("n=%d k=%d: dist[%d] = %v, want %v\ngot  %v\nwant %v",
+						n, k, i, got[i].Dist, want[i].Dist, got, want)
+				}
+			}
+			// Every retained result must be a real candidate.
+			byID := make(map[int]float64, n)
+			for _, c := range cands {
+				byID[c.ID] = c.Dist
+			}
+			seen := make(map[int]bool)
+			for _, r := range got {
+				if d, ok := byID[r.ID]; !ok || d != r.Dist {
+					t.Fatalf("n=%d k=%d: result %v is not an input candidate", n, k, r)
+				}
+				if seen[r.ID] {
+					t.Fatalf("n=%d k=%d: id %d retained twice", n, k, r.ID)
+				}
+				seen[r.ID] = true
+			}
+		}
+	}
+}
+
+// TestMergeSortedMatchesOracle splits random candidate sets into
+// random shards, merges the per-shard top-k lists, and requires exact
+// oracle equality — including ids on distance ties, which MergeSorted
+// resolves by the total order.
+func TestMergeSortedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(80)
+		cands := randomCandidates(rng, n)
+		shards := 1 + rng.Intn(6)
+		for _, k := range kValues(n) {
+			// Partition candidates across shards at random, then take
+			// each shard's local top-k — exactly what the cluster layer
+			// feeds the merge.
+			lists := make([][]Result, shards)
+			for _, c := range cands {
+				si := rng.Intn(shards)
+				lists[si] = append(lists[si], c)
+			}
+			for si := range lists {
+				lists[si] = oracle(k, lists[si])
+			}
+			got := MergeSorted(k, lists...)
+			want := oracle(k, cands)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d k=%d shards=%d:\ngot  %v\nwant %v", n, k, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeSortedOrderIndependent merges the same shard lists in
+// shuffled orders and requires bit-identical output every time —
+// determinism under input reordering is what makes degraded sharded
+// responses reproducible.
+func TestMergeSortedOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(60)
+		k := 1 + rng.Intn(n+4)
+		cands := randomCandidates(rng, n)
+		shards := 2 + rng.Intn(5)
+		lists := make([][]Result, shards)
+		for _, c := range cands {
+			si := rng.Intn(shards)
+			lists[si] = append(lists[si], c)
+		}
+		base := MergeSorted(k, lists...)
+		for p := 0; p < 5; p++ {
+			perm := rng.Perm(shards)
+			shuffled := make([][]Result, shards)
+			for i, pi := range perm {
+				shuffled[i] = lists[pi]
+			}
+			if got := MergeSorted(k, shuffled...); !reflect.DeepEqual(got, base) {
+				t.Fatalf("merge depends on list order:\nperm %v\ngot  %v\nwant %v", perm, got, base)
+			}
+		}
+	}
+}
+
+// TestMergeSortedSplitInvariant re-partitions one candidate set two
+// different ways and requires the same global top-k from both — the
+// cluster-vs-region equivalence property.
+func TestMergeSortedSplitInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(60)
+		k := 1 + rng.Intn(n)
+		cands := randomCandidates(rng, n)
+		split := func(shards int) [][]Result {
+			lists := make([][]Result, shards)
+			for _, c := range cands {
+				si := rng.Intn(shards)
+				lists[si] = append(lists[si], c)
+			}
+			for si := range lists {
+				lists[si] = oracle(k, lists[si])
+			}
+			return lists
+		}
+		a := MergeSorted(k, split(1+rng.Intn(6))...)
+		b := MergeSorted(k, split(1+rng.Intn(6))...)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("different partitions give different top-k:\na %v\nb %v", a, b)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"ssam/internal/kmeans"
 	"ssam/internal/knn"
 	"ssam/internal/lsh"
+	"ssam/internal/obs"
 	"ssam/internal/ssamdev"
 	"ssam/internal/topk"
 	"ssam/internal/vec"
@@ -430,6 +431,14 @@ func (r *Region) Search(q []float32, k int) ([]Result, error) {
 // query's stats, which the sharded cluster layer relies on when many
 // scatter-gather queries share one shard region.
 func (r *Region) SearchStats(q []float32, k int) ([]Result, DeviceStats, error) {
+	return r.SearchStatsSpan(q, k, nil)
+}
+
+// SearchStatsSpan is SearchStats recording the engine execution as an
+// "exec" child of sp (internal/obs tracing). A nil span is the
+// untraced fast path — every obs hook degrades to a nil check, so
+// callers without a sampled trace pay nothing measurable.
+func (r *Region) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]Result, DeviceStats, error) {
 	if r.freed {
 		return nil, DeviceStats{}, ErrFreed
 	}
@@ -446,9 +455,14 @@ func (r *Region) SearchStats(q []float32, k int) ([]Result, DeviceStats, error) 
 		return nil, DeviceStats{}, fmt.Errorf("ssam: k must be positive")
 	}
 	if r.device != nil {
+		// The exec span includes the module lock wait: on the simulated
+		// device concurrent queries serialize, and that queueing is
+		// exactly what a trace should show.
+		esp := sp.Start("exec", obs.Tag{Key: "execution", Value: "device"})
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		res, st, err := r.deviceSearchRaw(q, k)
+		esp.End()
 		if err != nil {
 			return nil, DeviceStats{}, err
 		}
@@ -459,7 +473,10 @@ func (r *Region) SearchStats(q []float32, k int) ([]Result, DeviceStats, error) 
 	if search == nil {
 		return nil, DeviceStats{}, errors.New("ssam: no engine built")
 	}
-	return search(q, k), DeviceStats{}, nil
+	esp := sp.Start("exec", obs.Tag{Key: "execution", Value: "host"})
+	res := search(q, k)
+	esp.End()
+	return res, DeviceStats{}, nil
 }
 
 // SearchBinary is Search for Hamming regions.
@@ -506,6 +523,13 @@ func (r *Region) SearchBinary(q BinaryCode, k int) ([]Result, error) {
 // queries before it are kept in the returned slice and the stats they
 // accumulated are committed.
 func (r *Region) SearchBatch(qs [][]float32, k int) ([][]Result, error) {
+	return r.SearchBatchSpan(qs, k, nil)
+}
+
+// SearchBatchSpan is SearchBatch recording the engine execution as an
+// "exec" child of sp, tagged with the execution mode and batch size.
+// A nil span is the untraced fast path.
+func (r *Region) SearchBatchSpan(qs [][]float32, k int, sp *obs.Span) ([][]Result, error) {
 	if r.freed {
 		return nil, ErrFreed
 	}
@@ -523,6 +547,12 @@ func (r *Region) SearchBatch(qs [][]float32, k int) ([][]Result, error) {
 	out := make([][]Result, len(qs))
 
 	if r.device != nil {
+		// As in SearchStatsSpan, the exec span includes the module lock
+		// wait: the simulated device serializes concurrent batches.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "device"},
+			obs.Tag{Key: "batch", Value: len(qs)})
+		defer esp.End()
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		var agg DeviceStats
@@ -559,6 +589,10 @@ func (r *Region) SearchBatch(qs [][]float32, k int) ([][]Result, error) {
 	if search == nil {
 		return nil, errors.New("ssam: no engine built")
 	}
+	esp := sp.Start("exec",
+		obs.Tag{Key: "execution", Value: "host"},
+		obs.Tag{Key: "batch", Value: len(qs)})
+	defer esp.End()
 	workers := r.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,70 @@
+package ssam_test
+
+// Benchmarks for the host-mode search path with the observability
+// hooks compiled in. The untraced variant is the acceptance gate for
+// the obs layer: with sampling off, every hook is a single nil check,
+// and Region.Search must stay within a few percent of its pre-obs
+// cost. The traced variant prices a fully sampled request (span
+// allocation + monotonic clock reads) for the overhead budget in
+// DESIGN.md §8.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssam"
+	"ssam/internal/obs"
+)
+
+func benchRegion(b *testing.B, rows, dims int) (*ssam.Region, []float32) {
+	b.Helper()
+	r, err := ssam.New(dims, ssam.Config{Mode: ssam.Linear, Execution: ssam.Host})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float32, rows*dims)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	if err := r.LoadFloat32(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.BuildIndex(); err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float32, dims)
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	return r, q
+}
+
+// BenchmarkRegionSearchHost is the untraced fast path: a nil span
+// threads through SearchStatsSpan, so the obs hooks cost one nil
+// check each.
+func BenchmarkRegionSearchHost(b *testing.B) {
+	r, q := benchRegion(b, 4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegionSearchHostTraced runs the same search under a live
+// span tree, as a force-sampled request would. The per-query delta
+// against BenchmarkRegionSearchHost is the full tracing overhead.
+func BenchmarkRegionSearchHostTraced(b *testing.B) {
+	r, q := benchRegion(b, 4096, 64)
+	tracer := obs.NewTracer(0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.Trace("bench", true)
+		if _, _, err := r.SearchStatsSpan(q, 10, tr.Root()); err != nil {
+			b.Fatal(err)
+		}
+		tracer.Finish(tr)
+	}
+}
