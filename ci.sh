@@ -21,14 +21,19 @@ go test -race ./...
 # paying for real measurement iterations.
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+# Vault-sweep smoke: the perf-trajectory generator behind
+# BENCH_05_vaults.json must keep running end to end (tiny scale: this
+# checks the harness, not the numbers).
+go run ./cmd/ssam-bench -exp vaults -format json -scale 0.001 -queries 2 > /dev/null
+
 # Fuzz-seed smoke: replay every committed seed corpus through its fuzz
 # target (no fuzzing engine, just the corpus) so a decoder regression
 # against a known-tricky input fails the gate deterministically.
 go test -run='^Fuzz' -count=1 ./internal/server/wire
 
-# Coverage floor on the serving stack: the observability PR hardened
-# these packages test-first; don't let coverage rot below 80%.
-for pkg in ./internal/server ./internal/cluster ./internal/obs; do
+# Coverage floor on the serving stack and the scan kernels: these
+# packages were hardened test-first; don't let coverage rot below 80%.
+for pkg in ./internal/server ./internal/cluster ./internal/obs ./internal/knn; do
     pct=$(go test -count=1 -cover "$pkg" | awk '/coverage:/ {gsub(/%/,"",$5); print $5}')
     if [ -z "$pct" ]; then
         echo "ci.sh: no coverage reported for $pkg" >&2

@@ -20,14 +20,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, vaults, all)")
 	scale := flag.Float64("scale", 0.004, "dataset scale relative to the paper's sizes (0,1]")
 	queries := flag.Int("queries", 10, "queries per measurement point")
 	vlen := flag.Int("vlen", 8, "SSAM vector length (2, 4, 8, 16)")
-	format := flag.String("format", "table", "output format: table or csv")
+	format := flag.String("format", "table", "output format: table, csv, or json (vaults only)")
 	flag.Parse()
 
 	o := bench.Options{Scale: *scale, Queries: *queries, VectorLength: *vlen}
+
+	// The vaults sweep has a machine-readable trajectory format
+	// (BENCH_05_vaults.json); the tabular experiments do not.
+	if *format == "json" {
+		if *exp != "vaults" {
+			fmt.Fprintf(os.Stderr, "ssam-bench: -format json is only supported for -exp vaults\n")
+			os.Exit(2)
+		}
+		t, err := bench.VaultSweep(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssam-bench: vaults: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteVaultTrajectory(os.Stdout, t); err != nil {
+			fmt.Fprintf(os.Stderr, "ssam-bench: vaults: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := map[string]func() (bench.Report, error){
 		"table1":   func() (bench.Report, error) { return bench.TableIReport(o), nil },
@@ -47,6 +66,7 @@ func main() {
 		"energy":   func() (bench.Report, error) { return bench.EnergyPerQueryReport(o) },
 		"cluster":  func() (bench.Report, error) { return bench.ClusterScalingReport(o) },
 		"shards":   func() (bench.Report, error) { return bench.ShardSweepReport(o) },
+		"vaults":   func() (bench.Report, error) { return bench.VaultSweepReport(o) },
 		"devbuild": func() (bench.Report, error) { return bench.DeviceAssistedBuildReport(o) },
 		"devindex": func() (bench.Report, error) { return bench.DeviceIndexSweepReport(o) },
 		"devlsh":   func() (bench.Report, error) { return bench.DeviceLSHSweepReport(o) },
@@ -54,7 +74,8 @@ func main() {
 	}
 	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig6", "fig7", "pqueue", "fixed", "tco", "build", "offload",
-		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster", "shards"}
+		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster", "shards",
+		"vaults"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -46,6 +46,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed load")
 	preload := flag.String("preload", "", "serve a ready-built region: dataset[:scale], dataset in {glove,gist,alexnet}")
 	preloadMode := flag.String("preload-mode", "linear", "indexing mode for the preloaded region")
+	preloadVaults := flag.Int("preload-vaults", 0, "intra-query vault count for the preloaded region's linear scans (0 = min(32, GOMAXPROCS))")
 	preloadShards := flag.Int("preload-shards", 0, "partition the preloaded region across N scatter-gather shards (0 = unsharded)")
 	preloadPartition := flag.String("preload-partition", "", "shard partitioner: roundrobin or hash (default roundrobin)")
 	preloadDeadline := flag.Duration("preload-deadline", 0, "per-shard fan-out deadline for the preloaded region (0 = none)")
@@ -77,7 +78,7 @@ func main() {
 				AllowPartial: *preloadAllowPartial,
 			}
 		}
-		if err := preloadRegion(srv, *preload, *preloadMode, sharding); err != nil {
+		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, sharding); err != nil {
 			log.Fatalf("preload %q: %v", *preload, err)
 		}
 	}
@@ -132,7 +133,7 @@ func main() {
 // million rows, so this goes through an in-process request cycle only
 // for create, then loads and builds through the same handlers the
 // wire uses — keeping one code path).
-func preloadRegion(srv *server.Server, arg, mode string, sharding *wire.ShardingConfig) error {
+func preloadRegion(srv *server.Server, arg, mode string, vaults int, sharding *wire.ShardingConfig) error {
 	name, scale := arg, 0.01
 	if i := strings.IndexByte(arg, ':'); i >= 0 {
 		name = arg[:i]
@@ -169,7 +170,7 @@ func preloadRegion(srv *server.Server, arg, mode string, sharding *wire.Sharding
 		rows[i] = ds.Row(i)
 	}
 	if err := roundTrip(srv, "POST", "/regions", wire.CreateRegionRequest{
-		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode, Sharding: sharding},
+		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode, Vaults: vaults, Sharding: sharding},
 	}); err != nil {
 		return err
 	}

@@ -1,8 +1,7 @@
 package knn
 
 import (
-	"sync"
-
+	"ssam/internal/obs"
 	"ssam/internal/topk"
 	"ssam/internal/vec"
 )
@@ -12,30 +11,43 @@ import (
 // hardware and loses negligible accuracy). Only Euclidean and
 // Manhattan have fixed-point kernels.
 type FixedEngine struct {
-	data    []int32
-	dim     int
-	n       int
-	metric  vec.Metric
-	workers int
+	data        []int32
+	dim         int
+	n           int
+	metric      vec.Metric
+	vaults      int
+	serialBelow int
 }
 
 // NewFixedEngine creates a fixed-point linear engine. metric must be
-// vec.Euclidean or vec.Manhattan.
-func NewFixedEngine(data []int32, dim int, metric vec.Metric, workers int) *FixedEngine {
+// vec.Euclidean or vec.Manhattan. vaults is the intra-query scan
+// partition count (<= 0 selects DefaultVaults, above MaxVaults clamps).
+func NewFixedEngine(data []int32, dim int, metric vec.Metric, vaults int) *FixedEngine {
 	if dim <= 0 || len(data)%dim != 0 {
 		panic("knn: data length not a multiple of dim")
 	}
 	if metric != vec.Euclidean && metric != vec.Manhattan {
 		panic("knn: fixed-point engine supports euclidean and manhattan only")
 	}
-	if workers <= 0 {
-		workers = 1
+	return &FixedEngine{
+		data:        data,
+		dim:         dim,
+		n:           len(data) / dim,
+		metric:      metric,
+		vaults:      resolveVaults(vaults),
+		serialBelow: DefaultSerialThreshold,
 	}
-	return &FixedEngine{data: data, dim: dim, n: len(data) / dim, metric: metric, workers: workers}
 }
 
 // N returns the database size.
 func (e *FixedEngine) N() int { return e.n }
+
+// Vaults returns the intra-query vault count.
+func (e *FixedEngine) Vaults() int { return e.vaults }
+
+// SetSerialThreshold overrides the dataset size below which queries
+// scan serially regardless of the vault count.
+func (e *FixedEngine) SetSerialThreshold(n int) { e.serialBelow = n }
 
 // Row returns fixed-point database vector i.
 func (e *FixedEngine) Row(i int) []int32 { return e.data[i*e.dim : (i+1)*e.dim] }
@@ -43,84 +55,105 @@ func (e *FixedEngine) Row(i int) []int32 { return e.data[i*e.dim : (i+1)*e.dim] 
 // Search returns the k nearest neighbors of the fixed-point query q.
 // Distances in the results are raw fixed-point units.
 func (e *FixedEngine) Search(q []int32, k int) []topk.Result {
+	res, _ := e.SearchStatsSpan(q, k, nil)
+	return res
+}
+
+// SearchStats is Search plus work accounting.
+func (e *FixedEngine) SearchStats(q []int32, k int) ([]topk.Result, Stats) {
+	return e.SearchStatsSpan(q, k, nil)
+}
+
+// SearchStatsSpan is SearchStats recording one "vault" child span of sp
+// per scanned slice (sp may be nil). Results are bit-identical to a
+// serial scan at any vault count.
+func (e *FixedEngine) SearchStatsSpan(q []int32, k int, sp *obs.Span) ([]topk.Result, Stats) {
 	dist := vec.SquaredL2Fixed
 	if e.metric == vec.Manhattan {
 		dist = vec.L1Fixed
 	}
-	scan := func(lo, hi int) []topk.Result {
+	scan := func(lo, hi int) ([]topk.Result, Stats) {
 		sel := topk.New(k)
+		var st Stats
 		for i := lo; i < hi; i++ {
-			sel.Push(i, float64(dist(q, e.Row(i))))
+			d := float64(dist(q, e.Row(i)))
+			st.DistEvals++
+			st.Dims += e.dim
+			st.PQInserts++
+			if sel.Push(i, d) {
+				st.PQKept++
+			}
 		}
-		return sel.Results()
+		return sel.Results(), st
 	}
-	if e.workers == 1 || e.n < 4*e.workers {
+	if e.vaults == 1 || e.n < e.serialBelow {
 		return scan(0, e.n)
 	}
-	lists := make([][]topk.Result, e.workers)
-	var wg sync.WaitGroup
-	chunk := (e.n + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, e.n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			lists[w] = scan(lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	return topk.Merge(k, lists...)
+	return scanVaults(e.n, e.vaults, k, sp, scan)
 }
 
 // HammingEngine is an exact linear-scan engine over binarized vectors
 // using Hamming distance, the workload of Table V's Hamming row and
 // the Table VI SSAM-vs-AP comparison.
 type HammingEngine struct {
-	data    []vec.Binary
-	workers int
+	data        []vec.Binary
+	vaults      int
+	serialBelow int
 }
 
-// NewHammingEngine creates a Hamming-space linear engine.
-func NewHammingEngine(data []vec.Binary, workers int) *HammingEngine {
-	if workers <= 0 {
-		workers = 1
+// NewHammingEngine creates a Hamming-space linear engine. vaults is
+// the intra-query scan partition count (<= 0 selects DefaultVaults,
+// above MaxVaults clamps).
+func NewHammingEngine(data []vec.Binary, vaults int) *HammingEngine {
+	return &HammingEngine{
+		data:        data,
+		vaults:      resolveVaults(vaults),
+		serialBelow: DefaultSerialThreshold,
 	}
-	return &HammingEngine{data: data, workers: workers}
 }
 
 // N returns the database size.
 func (e *HammingEngine) N() int { return len(e.data) }
 
+// Vaults returns the intra-query vault count.
+func (e *HammingEngine) Vaults() int { return e.vaults }
+
+// SetSerialThreshold overrides the dataset size below which queries
+// scan serially regardless of the vault count.
+func (e *HammingEngine) SetSerialThreshold(n int) { e.serialBelow = n }
+
 // Search returns the k nearest codes to q by Hamming distance.
 func (e *HammingEngine) Search(q vec.Binary, k int) []topk.Result {
-	scan := func(lo, hi int) []topk.Result {
+	res, _ := e.SearchStatsSpan(q, k, nil)
+	return res
+}
+
+// SearchStats is Search plus work accounting; Dims counts code bits.
+func (e *HammingEngine) SearchStats(q vec.Binary, k int) ([]topk.Result, Stats) {
+	return e.SearchStatsSpan(q, k, nil)
+}
+
+// SearchStatsSpan is SearchStats recording one "vault" child span of sp
+// per scanned slice (sp may be nil). Results are bit-identical to a
+// serial scan at any vault count.
+func (e *HammingEngine) SearchStatsSpan(q vec.Binary, k int, sp *obs.Span) ([]topk.Result, Stats) {
+	scan := func(lo, hi int) ([]topk.Result, Stats) {
 		sel := topk.New(k)
+		var st Stats
 		for i := lo; i < hi; i++ {
-			sel.Push(i, float64(vec.Hamming(q, e.data[i])))
+			d := float64(vec.Hamming(q, e.data[i]))
+			st.DistEvals++
+			st.Dims += q.Dim
+			st.PQInserts++
+			if sel.Push(i, d) {
+				st.PQKept++
+			}
 		}
-		return sel.Results()
+		return sel.Results(), st
 	}
 	n := len(e.data)
-	if e.workers == 1 || n < 4*e.workers {
+	if e.vaults == 1 || n < e.serialBelow {
 		return scan(0, n)
 	}
-	lists := make([][]topk.Result, e.workers)
-	var wg sync.WaitGroup
-	chunk := (n + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			lists[w] = scan(lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	return topk.Merge(k, lists...)
+	return scanVaults(n, e.vaults, k, sp, scan)
 }

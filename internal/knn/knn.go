@@ -2,14 +2,16 @@
 // scan, the baseline every experiment in the SSAM paper builds on
 // (Section II: "linear search performance is still valuable since
 // higher accuracy targets reduce to linear search"). Engines exist for
-// float32, 32-bit fixed-point, and binarized Hamming-space databases,
-// each with a sequential and a multi-goroutine batched form.
+// float32, 32-bit fixed-point, and binarized Hamming-space databases.
+// Each engine scans vault-parallel within a query (see vault.go) and
+// fans out across queries in batched form.
 package knn
 
 import (
 	"runtime"
 	"sync"
 
+	"ssam/internal/obs"
 	"ssam/internal/topk"
 	"ssam/internal/vec"
 )
@@ -23,7 +25,11 @@ type Searcher interface {
 }
 
 // Stats records the work performed by a query, the raw material for
-// the Table I instruction-mix characterization.
+// the Table I instruction-mix characterization. All counters except
+// PQKept are partition-independent: a vault-parallel scan reports the
+// same DistEvals, Dims, and PQInserts as a serial scan of the same
+// database. PQKept may exceed the serial value under vault parallelism
+// because each vault-local selector bounds against only its own slice.
 type Stats struct {
 	DistEvals int // full distance computations
 	Dims      int // total vector dimensions touched by distance math
@@ -41,23 +47,50 @@ func (s *Stats) Add(other Stats) {
 
 // Engine is an exact linear-scan kNN engine over float32 vectors.
 type Engine struct {
-	data    []float32
-	dim     int
-	n       int
-	metric  vec.Metric
-	workers int
+	data        []float32
+	dim         int
+	n           int
+	metric      vec.Metric
+	workers     int // cross-query fan-out width
+	vaults      int // intra-query scan partitions
+	serialBelow int // scan serially when n is below this
 }
 
 // NewEngine creates a linear engine over a flattened row-major
-// database. workers <= 0 selects GOMAXPROCS.
+// database. workers <= 0 selects GOMAXPROCS. The intra-query vault
+// count follows workers (capped at MaxVaults); use NewEngineVaults to
+// set it independently.
 func NewEngine(data []float32, dim int, metric vec.Metric, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	v := workers
+	if v > MaxVaults {
+		v = MaxVaults
+	}
+	return NewEngineVaults(data, dim, metric, workers, v)
+}
+
+// NewEngineVaults is NewEngine with an explicit intra-query vault
+// count: the database is split into vaults contiguous slices scanned
+// concurrently within each query (vaults <= 0 selects DefaultVaults,
+// values above MaxVaults clamp to it). workers <= 0 selects GOMAXPROCS.
+func NewEngineVaults(data []float32, dim int, metric vec.Metric, workers, vaults int) *Engine {
 	if dim <= 0 || len(data)%dim != 0 {
 		panic("knn: data length not a multiple of dim")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{data: data, dim: dim, n: len(data) / dim, metric: metric, workers: workers}
+	return &Engine{
+		data:        data,
+		dim:         dim,
+		n:           len(data) / dim,
+		metric:      metric,
+		workers:     workers,
+		vaults:      resolveVaults(vaults),
+		serialBelow: DefaultSerialThreshold,
+	}
 }
 
 // N returns the database size.
@@ -69,11 +102,20 @@ func (e *Engine) Dim() int { return e.dim }
 // Metric returns the engine's distance metric.
 func (e *Engine) Metric() vec.Metric { return e.metric }
 
+// Vaults returns the intra-query vault count.
+func (e *Engine) Vaults() int { return e.vaults }
+
+// SetSerialThreshold overrides the dataset size below which queries
+// scan serially regardless of the vault count (default
+// DefaultSerialThreshold). Zero forces the vault path for any size;
+// tests use it to exercise vault parallelism on small datasets.
+func (e *Engine) SetSerialThreshold(n int) { e.serialBelow = n }
+
 // Row returns database vector i.
 func (e *Engine) Row(i int) []float32 { return e.data[i*e.dim : (i+1)*e.dim] }
 
 // Search scans the whole database for the k nearest neighbors of q,
-// sharding the scan across the engine's workers.
+// partitioning the scan across the engine's vaults.
 func (e *Engine) Search(q []float32, k int) []topk.Result {
 	res, _ := e.SearchStats(q, k)
 	return res
@@ -81,36 +123,19 @@ func (e *Engine) Search(q []float32, k int) []topk.Result {
 
 // SearchStats is Search plus work accounting.
 func (e *Engine) SearchStats(q []float32, k int) ([]topk.Result, Stats) {
-	if e.workers == 1 || e.n < 4*e.workers {
+	return e.SearchStatsSpan(q, k, nil)
+}
+
+// SearchStatsSpan is SearchStats recording one "vault" child span of sp
+// per scanned slice (sp may be nil). Results are bit-identical to a
+// serial scan at any vault count: ids, order, and distances.
+func (e *Engine) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]topk.Result, Stats) {
+	if e.vaults == 1 || e.n < e.serialBelow {
 		return e.scanRange(q, k, 0, e.n)
 	}
-	type part struct {
-		res   []topk.Result
-		stats Stats
-	}
-	parts := make([]part, e.workers)
-	var wg sync.WaitGroup
-	chunk := (e.n + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, e.n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			parts[w].res, parts[w].stats = e.scanRange(q, k, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var stats Stats
-	lists := make([][]topk.Result, 0, e.workers)
-	for _, p := range parts {
-		lists = append(lists, p.res)
-		stats.Add(p.stats)
-	}
-	return topk.Merge(k, lists...), stats
+	return scanVaults(e.n, e.vaults, k, sp, func(lo, hi int) ([]topk.Result, Stats) {
+		return e.scanRange(q, k, lo, hi)
+	})
 }
 
 func (e *Engine) scanRange(q []float32, k, lo, hi int) ([]topk.Result, Stats) {
@@ -128,16 +153,31 @@ func (e *Engine) scanRange(q []float32, k, lo, hi int) ([]topk.Result, Stats) {
 	return sel.Results(), st
 }
 
-// SearchBatch runs one Search per query, parallelized across queries.
+// SearchBatch runs one Search per query. A single query, or fewer
+// queries than workers, runs them in turn with vault-parallel scans so
+// a short batch still uses the machine; longer batches fan out across
+// workers with serial scans, which keeps total parallelism at the
+// worker count instead of workers × vaults.
 func (e *Engine) SearchBatch(qs [][]float32, k int) [][]topk.Result {
-	return batch(qs, k, e.workers, func(q []float32, k int) []topk.Result {
-		res, _ := e.scanRangeAll(q, k)
-		return res
-	})
+	return e.SearchBatchSpan(qs, k, nil)
 }
 
-func (e *Engine) scanRangeAll(q []float32, k int) ([]topk.Result, Stats) {
-	return e.scanRange(q, k, 0, e.n)
+// SearchBatchSpan is SearchBatch recording "vault" child spans of sp
+// for queries that take the vault-parallel path (sp may be nil).
+// Queries on the cross-query fan-out path scan serially and record no
+// vault spans — per-query parallelism is genuinely absent there.
+func (e *Engine) SearchBatchSpan(qs [][]float32, k int, sp *obs.Span) [][]topk.Result {
+	if e.vaults > 1 && (len(qs) == 1 || len(qs) < e.workers) {
+		out := make([][]topk.Result, len(qs))
+		for i, q := range qs {
+			out[i], _ = e.SearchStatsSpan(q, k, sp)
+		}
+		return out
+	}
+	return batch(qs, k, e.workers, func(q []float32, k int) []topk.Result {
+		res, _ := e.scanRange(q, k, 0, e.n)
+		return res
+	})
 }
 
 // batch fans queries out over workers goroutines, preserving order.

@@ -1,0 +1,42 @@
+package knn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ssam/internal/vec"
+)
+
+// BenchmarkSearchVaults times one GIST-shaped query (960-d, the
+// paper's widest float workload) at fixed vault counts, serial
+// threshold forced to zero so every count takes its configured path.
+// Compare the sub-benchmarks to read the intra-query scaling on this
+// machine; BENCH_05_vaults.json records the same sweep via
+// ssam-bench -exp vaults.
+func BenchmarkSearchVaults(b *testing.B) {
+	const (
+		dim = 960
+		n   = 4096
+		k   = 10
+	)
+	rng := rand.New(rand.NewSource(42))
+	data := make([]float32, n*dim)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = rng.Float32()
+	}
+	for _, vaults := range []int{1, 4, 32} {
+		b.Run(fmt.Sprintf("%d", vaults), func(b *testing.B) {
+			e := NewEngineVaults(data, dim, vec.Euclidean, 1, vaults)
+			e.SetSerialThreshold(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Search(q, k)
+			}
+		})
+	}
+}

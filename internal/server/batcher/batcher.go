@@ -27,8 +27,11 @@ import (
 var ErrClosed = errors.New("batcher: closed")
 
 // SearchFunc answers a homogeneous batch of queries, one result slice
-// per query. Region.SearchBatch satisfies this signature.
-type SearchFunc func(qs [][]float32, k int) ([][]ssam.Result, error)
+// per query. The span is nil unless a request in the batch carried a
+// sampled trace, in which case the engine's sub-stages (per-vault
+// scans, device serialization) nest under it. Region.SearchBatchSpan
+// satisfies this signature.
+type SearchFunc func(qs [][]float32, k int, sp *obs.Span) ([][]ssam.Result, error)
 
 // Options tunes a Batcher. Zero values select the defaults.
 type Options struct {
@@ -178,8 +181,15 @@ func (b *Batcher) run(bk *bucket) {
 		tr.queue.End()
 		tr.exec = tr.batch.Start("exec", obs.Tag{Key: "batch_size", Value: size})
 	}
+	// The engine's sub-stage spans attach under the first traced
+	// request's exec span — the batch runs once, so the work is recorded
+	// once rather than duplicated into every sampled trace.
+	var execSp *obs.Span
+	if len(bk.traced) > 0 {
+		execSp = bk.traced[0].exec
+	}
 	start := time.Now()
-	results, err := b.search(bk.queries, bk.k)
+	results, err := b.search(bk.queries, bk.k, execSp)
 	elapsed := time.Since(start)
 	for i := range bk.traced {
 		bk.traced[i].exec.End()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ssam"
+	"ssam/internal/obs"
 )
 
 // recorder is a SearchFunc that logs every batch it receives and
@@ -21,7 +22,7 @@ type recorder struct {
 	err     error
 }
 
-func (r *recorder) search(qs [][]float32, k int) ([][]ssam.Result, error) {
+func (r *recorder) search(qs [][]float32, k int, _ *obs.Span) ([][]ssam.Result, error) {
 	if r.delay > 0 {
 		time.Sleep(r.delay)
 	}

@@ -305,6 +305,7 @@ func toConfig(wc wire.RegionConfig) (ssam.Config, error) {
 	}
 	cfg.VectorLength = wc.VectorLength
 	cfg.Workers = wc.Workers
+	cfg.Vaults = wc.Vaults
 	cfg.Index = ssam.IndexParams(wc.Index)
 	return cfg, nil
 }
@@ -494,7 +495,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		e.batcher.Close()
 	}
 	region := e.region
-	e.batcher = batcher.New(region.SearchBatch, batcher.Options{
+	e.batcher = batcher.New(region.SearchBatchSpan, batcher.Options{
 		Window:   s.opts.BatchWindow,
 		MaxBatch: s.opts.MaxBatch,
 		OnFlush:  func(size int, _ time.Duration) { e.stats.recordBatch(size) },

@@ -11,12 +11,16 @@ import "ssam/internal/obs"
 // Only float-metric regions are servable: binary (Hamming-code)
 // payloads have no JSON vector representation here yet.
 type RegionConfig struct {
-	Metric       string      `json:"metric,omitempty"`        // euclidean|manhattan|cosine (default euclidean)
-	Mode         string      `json:"mode,omitempty"`          // linear|kdtree|kmeans|mplsh (default linear)
-	Execution    string      `json:"execution,omitempty"`     // host|device (default host)
-	VectorLength int         `json:"vector_length,omitempty"` // device variant: 2|4|8|16
-	Workers      int         `json:"workers,omitempty"`
-	Index        IndexParams `json:"index,omitempty"`
+	Metric       string `json:"metric,omitempty"`        // euclidean|manhattan|cosine (default euclidean)
+	Mode         string `json:"mode,omitempty"`          // linear|kdtree|kmeans|mplsh (default linear)
+	Execution    string `json:"execution,omitempty"`     // host|device (default host)
+	VectorLength int    `json:"vector_length,omitempty"` // device variant: 2|4|8|16
+	Workers      int    `json:"workers,omitempty"`
+	// Vaults sets the intra-query scan partition count for host linear
+	// execution (0 = min(32, GOMAXPROCS); clamped to 32). Results are
+	// bit-identical at every vault count.
+	Vaults int         `json:"vaults,omitempty"`
+	Index  IndexParams `json:"index,omitempty"`
 	// Sharding, when present, makes the region a scatter-gather
 	// cluster of independent shard regions (internal/cluster), each
 	// with its own simulated device module.

@@ -14,11 +14,30 @@ type Result struct {
 	Dist float64
 }
 
-// Selector keeps the k smallest-distance results seen so far using a
-// bounded binary max-heap. The zero value is not usable; call New.
+// Selector keeps the k smallest results seen so far using a bounded
+// binary max-heap ordered by the total order (ascending distance, ties
+// by ascending id). Because admission and eviction both follow the
+// total order, the retained set is exactly the k smallest candidates
+// of the stream — independent of push order, and therefore identical
+// whether one selector scans a whole database or per-vault selectors
+// scan contiguous slices that are merged with MergeSorted. That
+// push-order independence is the property the vault-parallel engines
+// (internal/knn) and the sharded scatter-gather layer
+// (internal/cluster) lean on for bit-exact equivalence with a serial
+// scan. The zero value is not usable; call New.
 type Selector struct {
 	k    int
-	heap []Result // max-heap on Dist
+	heap []Result // max-heap under worse (Dist, then ID)
+}
+
+// worse reports whether a ranks strictly after b under the total order
+// (ascending distance, ties by ascending id) — i.e. a is the worse
+// candidate of the two.
+func worse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
 }
 
 // New returns a Selector that retains the k closest results. k must be
@@ -37,8 +56,9 @@ func (s *Selector) K() int { return s.k }
 func (s *Selector) Len() int { return len(s.heap) }
 
 // Bound returns the current k-th smallest distance, i.e. the threshold
-// a new candidate must beat to be admitted once the selector is full.
-// Before the selector is full it returns +Inf semantics via ok=false.
+// a new candidate must beat (or tie while carrying a smaller id) to be
+// admitted once the selector is full. Before the selector is full it
+// returns +Inf semantics via ok=false.
 func (s *Selector) Bound() (dist float64, ok bool) {
 	if len(s.heap) < s.k {
 		return 0, false
@@ -47,16 +67,21 @@ func (s *Selector) Bound() (dist float64, ok bool) {
 }
 
 // Push offers a candidate. It returns true if the candidate was kept.
+// Once the selector is full a candidate displaces the current worst
+// exactly when it precedes it under the total order (smaller distance,
+// or equal distance and smaller id), so boundary ties resolve to the
+// lowest ids no matter the arrival order.
 func (s *Selector) Push(id int, dist float64) bool {
+	c := Result{ID: id, Dist: dist}
 	if len(s.heap) < s.k {
-		s.heap = append(s.heap, Result{ID: id, Dist: dist})
+		s.heap = append(s.heap, c)
 		s.siftUp(len(s.heap) - 1)
 		return true
 	}
-	if dist >= s.heap[0].Dist {
+	if !worse(s.heap[0], c) {
 		return false
 	}
-	s.heap[0] = Result{ID: id, Dist: dist}
+	s.heap[0] = c
 	s.siftDown(0)
 	return true
 }
@@ -77,7 +102,7 @@ func (s *Selector) Reset() { s.heap = s.heap[:0] }
 func (s *Selector) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if s.heap[p].Dist >= s.heap[i].Dist {
+		if !worse(s.heap[i], s.heap[p]) {
 			return
 		}
 		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
@@ -90,10 +115,10 @@ func (s *Selector) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l < n && s.heap[l].Dist > s.heap[big].Dist {
+		if l < n && worse(s.heap[l], s.heap[big]) {
 			big = l
 		}
-		if r < n && s.heap[r].Dist > s.heap[big].Dist {
+		if r < n && worse(s.heap[r], s.heap[big]) {
 			big = r
 		}
 		if big == i {

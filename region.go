@@ -102,6 +102,9 @@ func New(dims int, cfg Config) (*Region, error) {
 	default:
 		return nil, fmt.Errorf("ssam: vector length %d not in {2,4,8,16}", cfg.VectorLength)
 	}
+	if cfg.Vaults < 0 {
+		return nil, fmt.Errorf("ssam: vaults must be non-negative, got %d", cfg.Vaults)
+	}
 	if cfg.Metric == Hamming && cfg.Mode != Linear {
 		return nil, fmt.Errorf("ssam: Hamming regions support Linear mode only")
 	}
@@ -235,9 +238,9 @@ func (r *Region) BuildIndex() error {
 	switch r.cfg.Mode {
 	case Linear:
 		if r.cfg.Metric == Hamming {
-			r.hamming = knn.NewHammingEngine(r.codes, workers)
+			r.hamming = knn.NewHammingEngine(r.codes, r.cfg.Vaults)
 		} else {
-			r.linear = knn.NewEngine(r.data, r.dims, r.cfg.Metric.toVec(), workers)
+			r.linear = knn.NewEngineVaults(r.data, r.dims, r.cfg.Metric.toVec(), workers, r.cfg.Vaults)
 		}
 	case KDTree:
 		p := kdtree.DefaultParams()
@@ -469,6 +472,17 @@ func (r *Region) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]Result, De
 		r.lastStats = toDeviceStats(st)
 		return res, r.lastStats, nil
 	}
+	if r.linear != nil {
+		// The linear engine is vault-parallel: hand it the exec span so
+		// each scanned slice shows up as a "vault" child and /tracez
+		// exposes per-vault skew.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "vaults", Value: r.linear.Vaults()})
+		res, _ := r.linear.SearchStatsSpan(q, k, esp)
+		esp.End()
+		return res, DeviceStats{}, nil
+	}
 	search := r.hostSearcher()
 	if search == nil {
 		return nil, DeviceStats{}, errors.New("ssam: no engine built")
@@ -481,35 +495,60 @@ func (r *Region) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]Result, De
 
 // SearchBinary is Search for Hamming regions.
 func (r *Region) SearchBinary(q BinaryCode, k int) ([]Result, error) {
+	res, _, err := r.SearchBinaryStatsSpan(q, k, nil)
+	return res, err
+}
+
+// SearchBinaryStats is SearchBinary returning the query's simulated
+// device stats alongside the results (zero DeviceStats for Host
+// execution), with the same atomicity guarantee as SearchStats.
+func (r *Region) SearchBinaryStats(q BinaryCode, k int) ([]Result, DeviceStats, error) {
+	return r.SearchBinaryStatsSpan(q, k, nil)
+}
+
+// SearchBinaryStatsSpan is SearchBinaryStats recording the engine
+// execution as an "exec" child of sp — the Hamming counterpart of
+// SearchStatsSpan, so binary queries appear in /tracez like float ones.
+// A nil span is the untraced fast path.
+func (r *Region) SearchBinaryStatsSpan(q BinaryCode, k int, sp *obs.Span) ([]Result, DeviceStats, error) {
 	if r.freed {
-		return nil, ErrFreed
+		return nil, DeviceStats{}, ErrFreed
 	}
 	if r.cfg.Metric != Hamming {
-		return nil, errors.New("ssam: binary query on a non-Hamming region")
+		return nil, DeviceStats{}, errors.New("ssam: binary query on a non-Hamming region")
 	}
 	if q.Dim != r.dims {
-		return nil, fmt.Errorf("ssam: query width %d, want %d", q.Dim, r.dims)
+		return nil, DeviceStats{}, fmt.Errorf("ssam: query width %d, want %d", q.Dim, r.dims)
 	}
 	if !r.built {
-		return nil, errors.New("ssam: SearchBinary before BuildIndex")
+		return nil, DeviceStats{}, errors.New("ssam: SearchBinary before BuildIndex")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("ssam: k must be positive")
+		return nil, DeviceStats{}, fmt.Errorf("ssam: k must be positive")
 	}
 	if r.device != nil {
+		// As in SearchStatsSpan, the exec span includes the module lock
+		// wait: concurrent queries serialize on the simulated device.
+		esp := sp.Start("exec", obs.Tag{Key: "execution", Value: "device"})
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		res, st, err := r.device.SearchBinary(q, k)
+		esp.End()
 		if err != nil {
-			return nil, err
+			return nil, DeviceStats{}, err
 		}
 		r.lastStats = toDeviceStats(st)
-		return res, nil
+		return res, r.lastStats, nil
 	}
 	if r.hamming == nil {
-		return nil, errors.New("ssam: no engine built")
+		return nil, DeviceStats{}, errors.New("ssam: no engine built")
 	}
-	return r.hamming.Search(q, k), nil
+	esp := sp.Start("exec",
+		obs.Tag{Key: "execution", Value: "host"},
+		obs.Tag{Key: "vaults", Value: r.hamming.Vaults()})
+	res, _ := r.hamming.SearchStatsSpan(q, k, esp)
+	esp.End()
+	return res, DeviceStats{}, nil
 }
 
 // SearchBatch answers one query per element of qs. Host execution
@@ -585,6 +624,18 @@ func (r *Region) SearchBatchSpan(qs [][]float32, k int, sp *obs.Span) ([][]Resul
 		return out, nil
 	}
 
+	if r.linear != nil {
+		// The linear engine owns the batch policy: short batches run
+		// queries in turn with vault-parallel scans, long ones fan out
+		// across workers with serial scans — either way, results match
+		// the serial path bit for bit.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "batch", Value: len(qs)},
+			obs.Tag{Key: "vaults", Value: r.linear.Vaults()})
+		defer esp.End()
+		return r.linear.SearchBatchSpan(qs, k, esp), nil
+	}
 	search := r.hostSearcher()
 	if search == nil {
 		return nil, errors.New("ssam: no engine built")

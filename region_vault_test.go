@@ -1,0 +1,271 @@
+package ssam_test
+
+// Region-level vault-parallel tests: serial/parallel equivalence
+// through the public API, concurrent hammering (ci.sh runs this file
+// under -race), and trace presence for both the float and the
+// previously untraced binary search path.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ssam"
+	"ssam/internal/obs"
+)
+
+// vaultRegion builds a Host linear region big enough to clear the
+// engines' adaptive serial threshold, so vaults > 1 actually takes the
+// parallel path.
+func vaultRegion(t *testing.T, n, dim, vaults int) (*ssam.Region, [][]float32) {
+	t.Helper()
+	r, err := ssam.New(dim, ssam.Config{Mode: ssam.Linear, Execution: ssam.Host, Vaults: vaults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(7)))
+	data := make([]float32, n*dim)
+	for i := range data {
+		// Quantized coordinates make duplicate distances (and boundary
+		// ties across vault edges) common.
+		data[i] = float32(rng.Intn(4))
+	}
+	if err := r.LoadFloat32(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([][]float32, 8)
+	for i := range qs {
+		q := make([]float32, dim)
+		for d := range q {
+			q[d] = float32(rng.Intn(4))
+		}
+		qs[i] = q
+	}
+	return r, qs
+}
+
+// TestRegionVaultsMatchSerial pins serial/parallel equivalence at the
+// public API: a Vaults=8 region answers every query and batch
+// bit-identically to a Vaults=1 region over the same data.
+func TestRegionVaultsMatchSerial(t *testing.T) {
+	const n, dim, k = 2400, 8, 10
+	serial, qs := vaultRegion(t, n, dim, 1)
+	defer serial.Free()
+	par, _ := vaultRegion(t, n, dim, 8)
+	defer par.Free()
+
+	for i, q := range qs {
+		want, err := serial.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: vault-parallel diverged from serial:\ngot  %v\nwant %v", i, got, want)
+		}
+	}
+	want, err := serial.SearchBatch(qs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.SearchBatch(qs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("vault-parallel batch diverged from serial batch")
+	}
+}
+
+// TestRegionVaultsConcurrentSearch drives Search and SearchBatch from
+// many goroutines against one vault-parallel region; under -race this
+// is the concurrency gate for the intra-query workers, and every
+// answer must still match the serial region exactly.
+func TestRegionVaultsConcurrentSearch(t *testing.T) {
+	const n, dim, k, goroutines, iters = 2400, 8, 10, 8, 10
+	serial, qs := vaultRegion(t, n, dim, 1)
+	defer serial.Free()
+	par, _ := vaultRegion(t, n, dim, 8)
+	defer par.Free()
+
+	wants := make([][]ssam.Result, len(qs))
+	for i, q := range qs {
+		w, err := serial.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	wantBatch, err := serial.SearchBatch(qs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				if g%2 == 0 {
+					qi := (g + it) % len(qs)
+					got, err := par.Search(qs[qi], k)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(got, wants[qi]) {
+						errs <- fmt.Errorf("goroutine %d iter %d: Search diverged", g, it)
+						return
+					}
+				} else {
+					got, err := par.SearchBatch(qs, k)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(got, wantBatch) {
+						errs <- fmt.Errorf("goroutine %d iter %d: SearchBatch diverged", g, it)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionVaultSpans checks that a traced vault-parallel query shows
+// the paper's topology in /tracez terms: a host exec span carrying the
+// vaults tag, with one vault child per slice.
+func TestRegionVaultSpans(t *testing.T) {
+	const n, dim, vaults = 2400, 8, 8
+	r, qs := vaultRegion(t, n, dim, vaults)
+	defer r.Free()
+
+	tracer := obs.NewTracer(0, 4)
+	tr := tracer.Trace("search", true)
+	if _, _, err := r.SearchStatsSpan(qs[0], 10, tr.Root()); err != nil {
+		t.Fatal(err)
+	}
+	data := tracer.Finish(tr)
+	exec := data.Root.Find("exec")
+	if exec == nil {
+		t.Fatal("no exec span recorded")
+	}
+	if got := exec.Tags["vaults"]; got != vaults {
+		t.Fatalf("exec span vaults tag = %v, want %d", got, vaults)
+	}
+	if spans := exec.FindAll("vault"); len(spans) != vaults {
+		t.Fatalf("got %d vault spans under exec, want %d", len(spans), vaults)
+	}
+}
+
+// hammingRegion builds a Hamming region with n duplicated-pool codes.
+func hammingRegion(t *testing.T, n, bits int, exec ssam.Execution, vaults int) (*ssam.Region, ssam.BinaryCode) {
+	t.Helper()
+	r, err := ssam.New(bits, ssam.Config{
+		Metric: ssam.Hamming, Mode: ssam.Linear, Execution: exec, Vaults: vaults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	pool := make([]ssam.BinaryCode, 4)
+	for p := range pool {
+		c := ssam.NewBinaryCode(bits)
+		for b := 0; b < bits; b++ {
+			c.Set(b, rng.Intn(2) == 1)
+		}
+		pool[p] = c
+	}
+	codes := make([]ssam.BinaryCode, n)
+	for i := range codes {
+		codes[i] = pool[rng.Intn(len(pool))]
+	}
+	if err := r.LoadBinary(codes); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return r, pool[0]
+}
+
+// TestSearchBinaryStatsSpanTrace pins the SearchBinary bugfix: binary
+// queries now have a stats/span variant, so Hamming traffic shows up
+// in traces like float traffic — host exec spans carry vault children,
+// and the results match the plain SearchBinary path exactly.
+func TestSearchBinaryStatsSpanTrace(t *testing.T) {
+	const n, bits, k, vaults = 2400, 64, 10, 8
+	r, q := hammingRegion(t, n, bits, ssam.Host, vaults)
+	defer r.Free()
+
+	want, err := r.SearchBinary(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(0, 4)
+	tr := tracer.Trace("binary", true)
+	got, _, err := r.SearchBinaryStatsSpan(q, k, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := tracer.Finish(tr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("traced binary search diverged from SearchBinary:\ngot  %v\nwant %v", got, want)
+	}
+	exec := data.Root.Find("exec")
+	if exec == nil {
+		t.Fatal("no exec span for a binary query")
+	}
+	if exec.Tags["execution"] != "host" {
+		t.Fatalf("exec execution tag = %v, want host", exec.Tags["execution"])
+	}
+	if spans := exec.FindAll("vault"); len(spans) != vaults {
+		t.Fatalf("got %d vault spans under binary exec, want %d", len(spans), vaults)
+	}
+}
+
+// TestSearchBinaryStatsSpanDevice covers the device side of the
+// bugfix: a traced binary query on the simulated module records an
+// exec span and returns the query's device stats atomically.
+func TestSearchBinaryStatsSpanDevice(t *testing.T) {
+	const n, bits, k = 96, 64, 5
+	r, q := hammingRegion(t, n, bits, ssam.Device, 0)
+	defer r.Free()
+
+	tracer := obs.NewTracer(0, 4)
+	tr := tracer.Trace("binary-device", true)
+	res, st, err := r.SearchBinaryStatsSpan(q, k, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := tracer.Finish(tr)
+	if len(res) != k {
+		t.Fatalf("got %d results, want %d", len(res), k)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("device stats not reported alongside traced binary results")
+	}
+	exec := data.Root.Find("exec")
+	if exec == nil {
+		t.Fatal("no exec span for a device binary query")
+	}
+	if exec.Tags["execution"] != "device" {
+		t.Fatalf("exec execution tag = %v, want device", exec.Tags["execution"])
+	}
+}

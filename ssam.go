@@ -202,8 +202,17 @@ type Config struct {
 	// VectorLength selects the SSAM-n device variant (2, 4, 8 or 16)
 	// for Device execution; default 8.
 	VectorLength int
-	// Workers bounds host-side parallelism; 0 uses all cores.
+	// Workers bounds host-side parallelism across queries; 0 uses all
+	// cores.
 	Workers int
+	// Vaults sets the intra-query scan partition count for Host linear
+	// execution, mirroring the paper's per-vault accelerators: the
+	// dataset is split into Vaults contiguous slices scanned
+	// concurrently and merged on the host. 0 selects min(32,
+	// GOMAXPROCS); values above 32 (the HMC vault count) are clamped;
+	// negative values are rejected by New. Results are bit-identical at
+	// every vault count.
+	Vaults int
 	// Index tunes approximate modes.
 	Index IndexParams
 }
