@@ -26,6 +26,10 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 # checks the harness, not the numbers).
 go run ./cmd/ssam-bench -exp vaults -format json -scale 0.001 -queries 2 > /dev/null
 
+# Graph-sweep smoke: the recall/QPS frontier generator behind
+# BENCH_06_graph.json must keep running end to end.
+go run ./cmd/ssam-bench -exp graph -format json -scale 0.001 -queries 2 > /dev/null
+
 # Fuzz-seed smoke: replay every committed seed corpus through its fuzz
 # target (no fuzzing engine, just the corpus) so a decoder regression
 # against a known-tricky input fails the gate deterministically.
@@ -33,7 +37,7 @@ go test -run='^Fuzz' -count=1 ./internal/server/wire
 
 # Coverage floor on the serving stack and the scan kernels: these
 # packages were hardened test-first; don't let coverage rot below 80%.
-for pkg in ./internal/server ./internal/cluster ./internal/obs ./internal/knn; do
+for pkg in ./internal/server ./internal/cluster ./internal/obs ./internal/knn ./internal/graph; do
     pct=$(go test -count=1 -cover "$pkg" | awk '/coverage:/ {gsub(/%/,"",$5); print $5}')
     if [ -z "$pct" ]; then
         echo "ci.sh: no coverage reported for $pkg" >&2

@@ -20,29 +20,37 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, vaults, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, vaults, graph, all)")
 	scale := flag.Float64("scale", 0.004, "dataset scale relative to the paper's sizes (0,1]")
 	queries := flag.Int("queries", 10, "queries per measurement point")
 	vlen := flag.Int("vlen", 8, "SSAM vector length (2, 4, 8, 16)")
-	format := flag.String("format", "table", "output format: table, csv, or json (vaults only)")
+	format := flag.String("format", "table", "output format: table, csv, or json (vaults and graph only)")
 	flag.Parse()
 
 	o := bench.Options{Scale: *scale, Queries: *queries, VectorLength: *vlen}
 
-	// The vaults sweep has a machine-readable trajectory format
-	// (BENCH_05_vaults.json); the tabular experiments do not.
+	// The vaults and graph sweeps have machine-readable trajectory
+	// formats (BENCH_05_vaults.json, BENCH_06_graph.json); the tabular
+	// experiments do not.
 	if *format == "json" {
-		if *exp != "vaults" {
-			fmt.Fprintf(os.Stderr, "ssam-bench: -format json is only supported for -exp vaults\n")
+		var err error
+		switch *exp {
+		case "vaults":
+			var t bench.VaultTrajectory
+			if t, err = bench.VaultSweep(o); err == nil {
+				err = bench.WriteVaultTrajectory(os.Stdout, t)
+			}
+		case "graph":
+			var t bench.GraphTrajectory
+			if t, err = bench.GraphSweep(o); err == nil {
+				err = bench.WriteGraphTrajectory(os.Stdout, t)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "ssam-bench: -format json is only supported for -exp vaults and -exp graph\n")
 			os.Exit(2)
 		}
-		t, err := bench.VaultSweep(o)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssam-bench: vaults: %v\n", err)
-			os.Exit(1)
-		}
-		if err := bench.WriteVaultTrajectory(os.Stdout, t); err != nil {
-			fmt.Fprintf(os.Stderr, "ssam-bench: vaults: %v\n", err)
+			fmt.Fprintf(os.Stderr, "ssam-bench: %s: %v\n", *exp, err)
 			os.Exit(1)
 		}
 		return
@@ -67,6 +75,7 @@ func main() {
 		"cluster":  func() (bench.Report, error) { return bench.ClusterScalingReport(o) },
 		"shards":   func() (bench.Report, error) { return bench.ShardSweepReport(o) },
 		"vaults":   func() (bench.Report, error) { return bench.VaultSweepReport(o) },
+		"graph":    func() (bench.Report, error) { return bench.GraphSweepReport(o) },
 		"devbuild": func() (bench.Report, error) { return bench.DeviceAssistedBuildReport(o) },
 		"devindex": func() (bench.Report, error) { return bench.DeviceIndexSweepReport(o) },
 		"devlsh":   func() (bench.Report, error) { return bench.DeviceLSHSweepReport(o) },
@@ -75,7 +84,7 @@ func main() {
 	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig6", "fig7", "pqueue", "fixed", "tco", "build", "offload",
 		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster", "shards",
-		"vaults"}
+		"vaults", "graph"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

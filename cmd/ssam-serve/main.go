@@ -6,6 +6,7 @@
 //	ssam-serve -addr :8080 -max-inflight 256 -batch-window 2ms
 //	ssam-serve -preload glove:0.01            # serve a ready-built region
 //	ssam-serve -preload glove:0.01 -preload-shards 4 -preload-allow-partial
+//	ssam-serve -preload gist:0.01 -preload-mode graph -preload-ef 96
 //	ssam-serve -trace-sample 100 -pprof       # observe a running server
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the server first sheds new
@@ -47,6 +48,9 @@ func main() {
 	preload := flag.String("preload", "", "serve a ready-built region: dataset[:scale], dataset in {glove,gist,alexnet}")
 	preloadMode := flag.String("preload-mode", "linear", "indexing mode for the preloaded region")
 	preloadVaults := flag.Int("preload-vaults", 0, "intra-query vault count for the preloaded region's linear scans (0 = min(32, GOMAXPROCS))")
+	preloadM := flag.Int("preload-m", 0, "graph mode: per-layer degree bound M (0 = default 16)")
+	preloadEfc := flag.Int("preload-efc", 0, "graph mode: efConstruction build beam (0 = default 100)")
+	preloadEf := flag.Int("preload-ef", 0, "graph mode: efSearch query beam (0 = default 64)")
 	preloadShards := flag.Int("preload-shards", 0, "partition the preloaded region across N scatter-gather shards (0 = unsharded)")
 	preloadPartition := flag.String("preload-partition", "", "shard partitioner: roundrobin or hash (default roundrobin)")
 	preloadDeadline := flag.Duration("preload-deadline", 0, "per-shard fan-out deadline for the preloaded region (0 = none)")
@@ -78,7 +82,8 @@ func main() {
 				AllowPartial: *preloadAllowPartial,
 			}
 		}
-		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, sharding); err != nil {
+		index := wire.IndexParams{M: *preloadM, EfConstruction: *preloadEfc, EfSearch: *preloadEf}
+		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, index, sharding); err != nil {
 			log.Fatalf("preload %q: %v", *preload, err)
 		}
 	}
@@ -133,7 +138,7 @@ func main() {
 // million rows, so this goes through an in-process request cycle only
 // for create, then loads and builds through the same handlers the
 // wire uses — keeping one code path).
-func preloadRegion(srv *server.Server, arg, mode string, vaults int, sharding *wire.ShardingConfig) error {
+func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.IndexParams, sharding *wire.ShardingConfig) error {
 	name, scale := arg, 0.01
 	if i := strings.IndexByte(arg, ':'); i >= 0 {
 		name = arg[:i]
@@ -170,7 +175,7 @@ func preloadRegion(srv *server.Server, arg, mode string, vaults int, sharding *w
 		rows[i] = ds.Row(i)
 	}
 	if err := roundTrip(srv, "POST", "/regions", wire.CreateRegionRequest{
-		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode, Vaults: vaults, Sharding: sharding},
+		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode, Vaults: vaults, Index: index, Sharding: sharding},
 	}); err != nil {
 		return err
 	}

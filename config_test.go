@@ -16,7 +16,10 @@ func TestNewRejectsOutOfRangeEnums(t *testing.T) {
 	}{
 		{"metric high", Config{Metric: Hamming + 1}, "metric"},
 		{"metric negative", Config{Metric: -1}, "metric"},
-		{"mode high", Config{Mode: MPLSH + 1}, "mode"},
+		// Graph is the current upper bound; Valid() widens silently when
+		// a mode is appended, so pin that one-past-the-end is rejected.
+		{"mode high", Config{Mode: Graph + 1}, "mode"},
+		{"mode far high", Config{Mode: Graph + 100}, "mode"},
 		{"mode negative", Config{Mode: -1}, "mode"},
 		{"execution high", Config{Execution: Device + 1}, "execution"},
 		{"execution negative", Config{Execution: -1}, "execution"},
@@ -39,8 +42,11 @@ func TestEnumStrings(t *testing.T) {
 	if s := (Hamming + 1).String(); s != "unknown" {
 		t.Fatalf("out-of-range Metric.String() = %q, want unknown", s)
 	}
-	if s := (MPLSH + 1).String(); s != "unknown" {
+	if s := (Graph + 1).String(); s != "unknown" {
 		t.Fatalf("out-of-range Mode.String() = %q, want unknown", s)
+	}
+	if s := Graph.String(); s != "graph" {
+		t.Fatalf("Graph.String() = %q, want graph", s)
 	}
 	if s := (Device + 1).String(); s != "unknown" {
 		t.Fatalf("out-of-range Execution.String() = %q, want unknown", s)
@@ -54,11 +60,14 @@ func TestParseRoundTrips(t *testing.T) {
 			t.Fatalf("ParseMetric(%q) = %v, %v", m.String(), got, err)
 		}
 	}
-	for m := Linear; m <= MPLSH; m++ {
+	for m := Linear; m <= Graph; m++ {
 		got, err := ParseMode(m.String())
 		if err != nil || got != m {
 			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
 		}
+	}
+	if got, err := ParseMode("graph"); err != nil || got != Graph {
+		t.Fatalf("ParseMode(graph) = %v, %v", got, err)
 	}
 	for _, e := range []Execution{Host, Device} {
 		got, err := ParseExecution(e.String())

@@ -1,0 +1,105 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ssam"
+	"ssam/internal/client"
+	"ssam/internal/server"
+	"ssam/internal/server/wire"
+)
+
+// TestGraphRegionEndToEnd drives a graph-mode region through the full
+// client → server → region path: the HNSW knobs must survive the wire,
+// and because construction is deterministic in the seed, the served
+// answers must equal a direct in-process Region built with the same
+// IndexParams, neighbor for neighbor.
+func TestGraphRegionEndToEnd(t *testing.T) {
+	const (
+		n, dim = 600, 16
+		k      = 5
+		nq     = 24
+	)
+	rows, queries := testData(n, nq, dim)
+
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := client.New(ts.URL, client.WithTimeout(time.Minute))
+
+	cfg := wire.RegionConfig{
+		Mode: "graph",
+		Index: wire.IndexParams{
+			M: 12, EfConstruction: 60, EfSearch: 48, Seed: 9,
+		},
+	}
+	if _, err := c.CreateRegion(ctx, "g", dim, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(ctx, "g", rows); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Build(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Built || info.Config.Mode != "graph" {
+		t.Fatalf("post-build info: %+v", info)
+	}
+	if got := info.Config.Index; got != cfg.Index {
+		t.Fatalf("index params did not survive the wire: %+v", got)
+	}
+
+	direct, err := ssam.New(dim, ssam.Config{
+		Mode:  ssam.Graph,
+		Index: ssam.IndexParams(cfg.Index),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Free()
+	if err := direct.LoadFloat32(flatten(rows)); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, q := range queries {
+		served, err := c.Search(ctx, "g", q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(served) != len(want) {
+			t.Fatalf("query %d: served %d results, want %d", i, len(served), len(want))
+		}
+		for j := range want {
+			if served[j].ID != want[j].ID || served[j].Distance != want[j].Dist {
+				t.Fatalf("query %d rank %d: served %+v, want %+v", i, j, served[j], want[j])
+			}
+		}
+	}
+
+	// Batch path through the same region.
+	batch, err := c.SearchBatch(ctx, "g", queries[:8], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range batch {
+		if len(row) != k {
+			t.Fatalf("batch row %d: %d results", i, len(row))
+		}
+	}
+	if err := c.Free(ctx, "g"); err != nil {
+		t.Fatal(err)
+	}
+}

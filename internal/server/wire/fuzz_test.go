@@ -19,6 +19,8 @@ func FuzzDecodeRequests(f *testing.F) {
 		body string
 	}{
 		{'c', `{"name":"glove","dims":100,"config":{"metric":"euclidean","mode":"kdtree","index":{"trees":4,"seed":7}}}`},
+		{'c', `{"name":"gist","dims":128,"config":{"mode":"graph","index":{"m":16,"ef_construction":100,"ef_search":64,"seed":1}}}`},
+		{'c', `{"name":"g2","dims":8,"config":{"mode":"graph","execution":"device","index":{"ef_search":32}}}`},
 		{'c', `{"name":"shardy","dims":8,"config":{"sharding":{"shards":4,"partition":"hash","deadline_ms":5.5,"hedge_ms":1.25,"allow_partial":true}}}`},
 		{'c', `{"name":"","dims":0}`},
 		{'c', `{"name":"x","dims":3,"config":{"sharding":{"shards":-1}}}`},

@@ -12,7 +12,7 @@ import "ssam/internal/obs"
 // payloads have no JSON vector representation here yet.
 type RegionConfig struct {
 	Metric       string `json:"metric,omitempty"`        // euclidean|manhattan|cosine (default euclidean)
-	Mode         string `json:"mode,omitempty"`          // linear|kdtree|kmeans|mplsh (default linear)
+	Mode         string `json:"mode,omitempty"`          // linear|kdtree|kmeans|mplsh|graph (default linear)
 	Execution    string `json:"execution,omitempty"`     // host|device (default host)
 	VectorLength int    `json:"vector_length,omitempty"` // device variant: 2|4|8|16
 	Workers      int    `json:"workers,omitempty"`
@@ -45,16 +45,22 @@ type ShardingConfig struct {
 	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
-// IndexParams mirrors ssam.IndexParams.
+// IndexParams mirrors ssam.IndexParams field for field (the server
+// converts by direct struct conversion, so the layouts must match).
 type IndexParams struct {
-	Trees     int   `json:"trees,omitempty"`
-	Branching int   `json:"branching,omitempty"`
-	LeafSize  int   `json:"leaf_size,omitempty"`
-	Tables    int   `json:"tables,omitempty"`
-	Bits      int   `json:"bits,omitempty"`
-	Checks    int   `json:"checks,omitempty"`
-	Probes    int   `json:"probes,omitempty"`
-	Seed      int64 `json:"seed,omitempty"`
+	Trees     int `json:"trees,omitempty"`
+	Branching int `json:"branching,omitempty"`
+	LeafSize  int `json:"leaf_size,omitempty"`
+	Tables    int `json:"tables,omitempty"`
+	Bits      int `json:"bits,omitempty"`
+	Checks    int `json:"checks,omitempty"`
+	Probes    int `json:"probes,omitempty"`
+	// Graph-mode (HNSW) knobs: per-layer degree bound, build beam, and
+	// query-time beam.
+	M              int   `json:"m,omitempty"`
+	EfConstruction int   `json:"ef_construction,omitempty"`
+	EfSearch       int   `json:"ef_search,omitempty"`
+	Seed           int64 `json:"seed,omitempty"`
 }
 
 // CreateRegionRequest allocates a named region (nmalloc + nmode).

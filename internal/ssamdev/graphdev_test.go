@@ -1,0 +1,130 @@
+package ssamdev
+
+import (
+	"testing"
+
+	"ssam/internal/dataset"
+	"ssam/internal/graph"
+	"ssam/internal/vec"
+)
+
+func graphTestData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Spec{
+		Name: "graphdev", N: 1200, Dim: 16, NumQueries: 16, K: 10,
+		Clusters: 12, ClusterStd: 0.3, Seed: 21,
+	})
+}
+
+func TestAttachGraphIndex(t *testing.T) {
+	ds := graphTestData(t)
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(ds.Data, ds.Dim(), graph.Params{M: 8, EfConstruction: 40, Seed: 1})
+	gi, err := dev.AttachGraphIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Graph() != g {
+		t.Fatal("Graph() does not return the attached index")
+	}
+
+	// Shape mismatch: a graph over a different database must be refused.
+	other := graph.Build(ds.Data[:ds.Dim()*100], ds.Dim(), graph.Params{M: 4, Seed: 1})
+	if _, err := dev.AttachGraphIndex(other); err == nil {
+		t.Fatal("mismatched graph shape accepted")
+	}
+	// Metric mismatch: graph traversal is squared-L2.
+	manh, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := manh.AttachGraphIndex(g); err == nil {
+		t.Fatal("non-Euclidean device accepted a graph index")
+	}
+}
+
+// TestGraphDeviceResultsAndModel pins that device execution returns
+// the host traversal's exact neighbors and that the modeled stats
+// track the traversal work counters.
+func TestGraphDeviceResultsAndModel(t *testing.T) {
+	ds := graphTestData(t)
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(ds.Data, ds.Dim(), graph.Params{M: 8, EfConstruction: 40, Seed: 1})
+	gi, err := dev.AttachGraphIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries {
+		hres, hst := g.SearchStats(q, 10)
+		dres, dst, err := gi.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hres) != len(dres) {
+			t.Fatalf("host %d results, device %d", len(hres), len(dres))
+		}
+		for j := range hres {
+			if hres[j] != dres[j] {
+				t.Fatalf("rank %d: host %+v != device %+v", j, hres[j], dres[j])
+			}
+		}
+		wantDRAM := uint64(hst.DistEvals)*uint64(dev.padded)*4 + uint64(hst.NeighborFetches)*4
+		if dst.DRAMBytesRead != wantDRAM {
+			t.Fatalf("DRAMBytesRead = %d, want %d", dst.DRAMBytesRead, wantDRAM)
+		}
+		if dst.Cycles == 0 || dst.Seconds <= 0 || dst.VectorInsts == 0 ||
+			dst.PUs != dev.TotalPUs() || dst.PQInserts != uint64(hst.HeapOps) {
+			t.Fatalf("implausible model stats %+v for work %+v", dst, hst)
+		}
+		// The serial traversal chain alone lower-bounds the cycle count:
+		// each hop pays the vault access latency.
+		minCycles := uint64(hst.Hops) * dev.cfg.PU.MemLatencyCycles
+		if dst.Cycles < minCycles {
+			t.Fatalf("cycles %d below traversal floor %d", dst.Cycles, minCycles)
+		}
+	}
+}
+
+// TestGraphDeviceEfScalesWork checks the knob feeds the model: a wider
+// beam does more traversal work and therefore costs more device time.
+func TestGraphDeviceEfScalesWork(t *testing.T) {
+	ds := graphTestData(t)
+	dev, err := NewFloat(DefaultConfig(4), ds.Data, ds.Dim(), vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(ds.Data, ds.Dim(), graph.Params{M: 8, EfConstruction: 40, Seed: 1})
+	gi, err := dev.AttachGraphIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var narrow, wide uint64
+	for _, q := range ds.Queries {
+		_, st, err := gi.SearchEf(q, 10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		narrow += st.Cycles
+		_, st, err = gi.SearchEf(q, 10, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide += st.Cycles
+	}
+	if wide <= narrow {
+		t.Fatalf("ef=200 cost %d cycles <= ef=10 cost %d", wide, narrow)
+	}
+
+	if _, _, err := gi.SearchEf(ds.Queries[0][:4], 10, 32); err == nil {
+		t.Fatal("bad query dim accepted")
+	}
+	if _, _, err := gi.SearchEf(ds.Queries[0], 0, 32); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

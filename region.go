@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ssam/internal/graph"
 	"ssam/internal/kdtree"
 	"ssam/internal/kmeans"
 	"ssam/internal/knn"
@@ -56,17 +57,19 @@ type Region struct {
 	freed  bool
 
 	// Host engines/indexes (built lazily by BuildIndex).
-	linear  *knn.Engine
-	hamming *knn.HammingEngine
-	forest  *kdtree.Forest
-	kmTree  *kmeans.Tree
-	mplsh   *lsh.Index
+	linear   *knn.Engine
+	hamming  *knn.HammingEngine
+	forest   *kdtree.Forest
+	kmTree   *kmeans.Tree
+	mplsh    *lsh.Index
+	graphIdx *graph.Index
 
 	// Simulated device (Device execution) and its on-device indexes.
 	device    *ssamdev.Device
 	devTree   *ssamdev.TreeIndex
 	devKMTree *ssamdev.KMTreeIndex
 	devLSH    *ssamdev.LSHIndex
+	devGraph  *ssamdev.GraphIndex
 	devChecks int // per-PU scan budget for device tree indexes
 
 	lastStats DeviceStats
@@ -89,7 +92,7 @@ func New(dims int, cfg Config) (*Region, error) {
 		return nil, fmt.Errorf("ssam: metric %d out of range [%v..%v]", int(cfg.Metric), Euclidean, Hamming)
 	}
 	if !cfg.Mode.Valid() {
-		return nil, fmt.Errorf("ssam: mode %d out of range [%v..%v]", int(cfg.Mode), Linear, MPLSH)
+		return nil, fmt.Errorf("ssam: mode %d out of range [%v..%v]", int(cfg.Mode), Linear, Graph)
 	}
 	if !cfg.Execution.Valid() {
 		return nil, fmt.Errorf("ssam: execution %d not in {%v, %v}", int(cfg.Execution), Host, Device)
@@ -225,6 +228,14 @@ func (r *Region) BuildIndex() error {
 			if err == nil && ip.Probes > 1 {
 				r.devLSH.MultiProbe = true
 			}
+		case Graph:
+			// The graph is built on the host and attached: construction is
+			// identical for both execution targets, so one build (and one
+			// seed) yields the same adjacency — and therefore the same
+			// neighbors — on Host and Device. The device contributes the
+			// NDSEARCH-style execution model.
+			r.graphIdx = graph.Build(r.data, r.dims, ip.graphParams())
+			r.devGraph, err = r.device.AttachGraphIndex(r.graphIdx)
 		default:
 			err = fmt.Errorf("ssam: unknown mode %v", r.cfg.Mode)
 		}
@@ -287,6 +298,8 @@ func (r *Region) BuildIndex() error {
 		if ip.Probes > 0 {
 			r.mplsh.Probes = ip.Probes
 		}
+	case Graph:
+		r.graphIdx = graph.Build(r.data, r.dims, ip.graphParams())
 	default:
 		return fmt.Errorf("ssam: unknown mode %v", r.cfg.Mode)
 	}
@@ -294,8 +307,9 @@ func (r *Region) BuildIndex() error {
 	return nil
 }
 
-// SetChecks adjusts the accuracy/throughput knob of a built tree index
-// (Checks) or MPLSH index (Probes) without rebuilding.
+// SetChecks adjusts the accuracy/throughput knob of a built index
+// without rebuilding: Checks for tree indexes, Probes for MPLSH, and
+// the efSearch beam width for Graph regions (both execution targets).
 func (r *Region) SetChecks(n int) error {
 	if r.freed {
 		return ErrFreed
@@ -310,6 +324,8 @@ func (r *Region) SetChecks(n int) error {
 		r.kmTree.Checks = n
 	case r.mplsh != nil:
 		r.mplsh.Probes = n
+	case r.graphIdx != nil:
+		r.graphIdx.EfSearch = n
 	case r.devTree != nil || r.devKMTree != nil:
 		r.devChecks = n
 	default:
@@ -396,6 +412,8 @@ func (r *Region) Exec(k int) error {
 		r.lastRes = r.kmTree.Search(r.query, k)
 	case r.mplsh != nil:
 		r.lastRes = r.mplsh.Search(r.query, k)
+	case r.graphIdx != nil:
+		r.lastRes = r.graphIdx.Search(r.query, k)
 	default:
 		return errors.New("ssam: no engine built")
 	}
@@ -480,6 +498,23 @@ func (r *Region) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]Result, De
 			obs.Tag{Key: "execution", Value: "host"},
 			obs.Tag{Key: "vaults", Value: r.linear.Vaults()})
 		res, _ := r.linear.SearchStatsSpan(q, k, esp)
+		esp.End()
+		return res, DeviceStats{}, nil
+	}
+	if r.graphIdx != nil {
+		// Hand the graph engine the exec span so the traversal shows up
+		// as "descend" (upper-layer hops) and "base" (layer-0 beam)
+		// children, each tagged with its hop and distance-eval counts.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "mode", Value: "graph"},
+			obs.Tag{Key: "ef", Value: r.graphIdx.EfSearch})
+		res, st := r.graphIdx.SearchStatsSpan(q, k, esp)
+		if esp != nil {
+			kst := st.KNN()
+			esp.SetTag("dist_evals", kst.DistEvals)
+			esp.SetTag("dims", kst.Dims)
+		}
 		esp.End()
 		return res, DeviceStats{}, nil
 	}
@@ -677,6 +712,8 @@ func (r *Region) deviceSearchRaw(q []float32, k int) ([]topk.Result, ssamdev.Que
 		return r.devKMTree.Search(q, k, r.devChecks)
 	case r.devLSH != nil:
 		return r.devLSH.Search(q, k)
+	case r.devGraph != nil:
+		return r.devGraph.Search(q, k)
 	default:
 		return r.device.Search(q, k)
 	}
@@ -710,8 +747,29 @@ func (r *Region) hostSearcher() func([]float32, int) []Result {
 		return r.kmTree.Search
 	case r.mplsh != nil:
 		return r.mplsh.Search
+	case r.graphIdx != nil:
+		return r.graphIdx.Search
 	}
 	return nil
+}
+
+// graphParams maps the region's index tuning onto graph construction;
+// zero values select the package defaults.
+func (ip IndexParams) graphParams() graph.Params {
+	p := graph.DefaultParams()
+	if ip.M > 0 {
+		p.M = ip.M
+	}
+	if ip.EfConstruction > 0 {
+		p.EfConstruction = ip.EfConstruction
+	}
+	if ip.EfSearch > 0 {
+		p.EfSearch = ip.EfSearch
+	}
+	if ip.Seed != 0 {
+		p.Seed = ip.Seed
+	}
+	return p
 }
 
 // LastStats returns the simulated device stats of the last Exec,
@@ -731,7 +789,7 @@ func (r *Region) Device() *ssamdev.Device { return r.device }
 func (r *Region) Free() {
 	r.freed = true
 	r.data, r.codes = nil, nil
-	r.linear, r.hamming, r.forest, r.kmTree, r.mplsh = nil, nil, nil, nil, nil
-	r.device, r.devTree, r.devKMTree, r.devLSH = nil, nil, nil, nil
+	r.linear, r.hamming, r.forest, r.kmTree, r.mplsh, r.graphIdx = nil, nil, nil, nil, nil, nil
+	r.device, r.devTree, r.devKMTree, r.devLSH, r.devGraph = nil, nil, nil, nil, nil
 	r.lastRes, r.query = nil, nil
 }

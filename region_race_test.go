@@ -9,7 +9,7 @@ import (
 )
 
 // raceDataset is a small clustered dataset shared by the concurrency
-// tests (cheap enough to build all four host indexes under -race).
+// tests (cheap enough to build all five host indexes under -race).
 func raceDataset(t *testing.T) *dataset.Dataset {
 	t.Helper()
 	return dataset.Generate(dataset.Spec{
@@ -20,10 +20,10 @@ func raceDataset(t *testing.T) *dataset.Dataset {
 
 // TestConcurrentSearchAllModes exercises the documented claim that
 // concurrent Search calls are safe once the index is built, across all
-// four indexing modes. Run with -race to verify.
+// five indexing modes. Run with -race to verify.
 func TestConcurrentSearchAllModes(t *testing.T) {
 	ds := raceDataset(t)
-	for _, mode := range []Mode{Linear, KDTree, KMeans, MPLSH} {
+	for _, mode := range []Mode{Linear, KDTree, KMeans, MPLSH, Graph} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()

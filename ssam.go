@@ -99,6 +99,10 @@ const (
 	KMeans
 	// MPLSH builds hyperplane multi-probe LSH tables (FALCONN-style).
 	MPLSH
+	// Graph builds an HNSW-style navigable small-world graph and
+	// answers queries by best-first traversal (NDSEARCH-style when
+	// executed on the device).
+	Graph
 )
 
 // String returns the mode name.
@@ -112,16 +116,18 @@ func (m Mode) String() string {
 		return "kmeans"
 	case MPLSH:
 		return "mplsh"
+	case Graph:
+		return "graph"
 	}
 	return "unknown"
 }
 
 // Valid reports whether m is one of the supported modes.
-func (m Mode) Valid() bool { return m >= Linear && m <= MPLSH }
+func (m Mode) Valid() bool { return m >= Linear && m <= Graph }
 
 // ParseMode parses a mode name as produced by Mode.String.
 func ParseMode(s string) (Mode, error) {
-	for m := Linear; m <= MPLSH; m++ {
+	for m := Linear; m <= Graph; m++ {
 		if s == m.String() {
 			return m, nil
 		}
@@ -190,6 +196,14 @@ type IndexParams struct {
 	// throughput (Fig. 2).
 	Checks int
 	Probes int
+	// M and EfConstruction shape the Graph mode's HNSW build: M bounds
+	// per-layer out-degree (default 16), EfConstruction the insertion
+	// beam (default 100). EfSearch is the query-time beam — the graph
+	// analogue of Checks (default 64); sweeping it traces the
+	// recall-vs-QPS frontier.
+	M              int
+	EfConstruction int
+	EfSearch       int
 	// Seed makes index construction reproducible.
 	Seed int64
 }
