@@ -7,9 +7,16 @@
 //
 //	ssam-loadgen -setup -n 20000 -dims 100 -duration 10s -concurrency 32
 //	ssam-loadgen -loop open -rate 2000 -duration 30s -retries 0
+//	ssam-loadgen -loop open -rate 500 -upsert-frac 0.05 -delete-frac 0.05
 //
 // With -retries 0, shed load (503) is reported as such instead of
 // being retried, making the server's admission control visible.
+//
+// -upsert-frac/-delete-frac turn the stream into a mixed read/write
+// workload against a mutable (unsharded linear) region: that fraction
+// of operations become single-row upserts/deletes over a uniform id
+// space, reported separately with write p50/p99 and the final
+// committed sequence watermark.
 package main
 
 import (
@@ -56,7 +63,16 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 1, "query-stream seed")
 	traceEvery := flag.Int("trace-every", 0, "force-trace every Nth query (X-SSAM-Trace) and report per-stage latency (0 = off)")
+	upsertFrac := flag.Float64("upsert-frac", 0, "fraction of operations issued as single-row upserts (0..1)")
+	deleteFrac := flag.Float64("delete-frac", 0, "fraction of operations issued as single-row deletes (0..1)")
 	flag.Parse()
+
+	if *upsertFrac < 0 || *deleteFrac < 0 || *upsertFrac+*deleteFrac > 1 {
+		log.Fatalf("-upsert-frac and -delete-frac must be non-negative and sum to at most 1")
+	}
+	if *upsertFrac+*deleteFrac > 0 && (*shards > 0 || *mode != "linear") {
+		log.Fatalf("write mix needs a mutable region: unsharded, -mode linear (got mode=%s shards=%d)", *mode, *shards)
+	}
 
 	c := client.New(*addr, client.WithTimeout(*timeout), client.WithRetries(*retries))
 	ctx := context.Background()
@@ -84,13 +100,21 @@ func main() {
 		}
 	}
 
+	mix := writeMix{upsert: *upsertFrac, del: *deleteFrac, n: ds.N()}
+	if mix.enabled() {
+		mix.rows = make([][]float32, ds.N())
+		for i := range mix.rows {
+			mix.rows[i] = ds.Row(i)
+		}
+	}
+
 	log.Printf("%s-loop against %s/regions/%s: k=%d, %v", *loop, *addr, *region, *k, *duration)
 	var res runResult
 	switch *loop {
 	case "closed":
-		res = closedLoop(ctx, c, *region, ds.Queries, *k, *concurrency, *duration, *traceEvery)
+		res = closedLoop(ctx, c, *region, ds.Queries, *k, *concurrency, *duration, *traceEvery, mix)
 	case "open":
-		res = openLoop(ctx, c, *region, ds.Queries, *k, *rate, *concurrency, *duration, *seed, *traceEvery)
+		res = openLoop(ctx, c, *region, ds.Queries, *k, *rate, *concurrency, *duration, *seed, *traceEvery, mix)
 	default:
 		log.Fatalf("unknown -loop %q (want closed or open)", *loop)
 	}
@@ -101,6 +125,15 @@ func main() {
 			fmt.Printf("server: %d queries in %d batches (avg %.1f, max %d), queue depth %d, server p99 %.2fms\n",
 				rs.Queries, rs.Batches, float64(rs.Queries)/float64(rs.Batches),
 				rs.MaxBatchSeen, rs.QueueDepth, rs.LatencyP99Ms)
+		}
+		if rs, ok := stats.Regions[*region]; ok && rs.Mutation != nil {
+			m := rs.Mutation
+			fmt.Printf("server writes: seq %d, %d live / %d dead rows, %d upserts, %d deletes, %d compactions (%d rewrites, %d rebalances)\n",
+				m.Seq, m.LiveRows, m.DeadRows, m.Upserts, m.Deletes,
+				m.CompactPasses, m.VaultRewrites, m.Rebalances)
+			if res.seqWater > m.Seq {
+				fmt.Printf("WARNING: client saw seq %d but server reports %d\n", res.seqWater, m.Seq)
+			}
 		}
 	}
 }
@@ -138,6 +171,19 @@ func setupRegion(ctx context.Context, c *client.Client, name string, ds *dataset
 	return nil
 }
 
+// writeMix configures the read/write operation mix: each operation
+// becomes an upsert with probability upsert, a delete with probability
+// del, and a search otherwise. Writes target a uniform id in [0, n)
+// and upserts carry another dataset row as the replacement payload (a
+// same-size steady-state write).
+type writeMix struct {
+	upsert, del float64
+	n           int
+	rows        [][]float32
+}
+
+func (m writeMix) enabled() bool { return m.upsert+m.del > 0 }
+
 // runResult aggregates one measurement run.
 type runResult struct {
 	model     string
@@ -150,6 +196,13 @@ type runResult struct {
 	degraded  uint64 // 200s flagged Degraded (sharded regions with dead shards)
 	latencies []time.Duration
 	stages    map[string][]float64 // per-stage durations (us) from sampled traces
+
+	// Write-path outcomes (zero unless a write mix was configured).
+	writeOK     uint64
+	writeShed   uint64
+	writeFailed uint64
+	writeLats   []time.Duration
+	seqWater    uint64 // highest committed seq observed in responses
 }
 
 func (r *runResult) report(w *os.File) {
@@ -163,6 +216,20 @@ func (r *runResult) report(w *os.File) {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  throughput %.1f ok-queries/sec\n", float64(r.ok)/r.elapsed.Seconds())
+	if r.writeOK+r.writeShed+r.writeFailed > 0 {
+		fmt.Fprintf(w, "  writes: ok %d, shed(503) %d, failed %d, %.1f ok-writes/sec, seq watermark %d\n",
+			r.writeOK, r.writeShed, r.writeFailed,
+			float64(r.writeOK)/r.elapsed.Seconds(), r.seqWater)
+		if len(r.writeLats) > 0 {
+			sort.Slice(r.writeLats, func(i, j int) bool { return r.writeLats[i] < r.writeLats[j] })
+			wp := func(p float64) time.Duration {
+				return r.writeLats[int(p*float64(len(r.writeLats)-1))]
+			}
+			fmt.Fprintf(w, "  write latency p50 %v  p99 %v  max %v\n",
+				wp(0.50).Round(time.Microsecond), wp(0.99).Round(time.Microsecond),
+				r.writeLats[len(r.writeLats)-1].Round(time.Microsecond))
+		}
+	}
 	if len(r.latencies) == 0 {
 		return
 	}
@@ -193,11 +260,16 @@ func (r *runResult) report(w *os.File) {
 type collector struct {
 	mu        sync.Mutex
 	latencies []time.Duration
+	writeLats []time.Duration
 	stages    map[string][]float64
 	ok        atomic.Uint64
 	shed      atomic.Uint64
 	failed    atomic.Uint64
 	degraded  atomic.Uint64
+	wok       atomic.Uint64
+	wshed     atomic.Uint64
+	wfailed   atomic.Uint64
+	seq       atomic.Uint64 // max committed seq seen in write responses
 }
 
 func (col *collector) observe(resp wire.SearchResponse, err error, lat time.Duration) {
@@ -218,6 +290,46 @@ func (col *collector) observe(resp wire.SearchResponse, err error, lat time.Dura
 	default:
 		col.failed.Add(1)
 	}
+}
+
+// observeWrite accounts one upsert/delete outcome. The seq watermark
+// keeps the highest committed sequence number any response reported —
+// with all writes flowing through this loadgen, a store whose final
+// /statsz seq matches the watermark lost none of them.
+func (col *collector) observeWrite(resp wire.MutateResponse, err error, lat time.Duration) {
+	switch {
+	case err == nil:
+		col.wok.Add(1)
+		for {
+			cur := col.seq.Load()
+			if resp.Seq <= cur || col.seq.CompareAndSwap(cur, resp.Seq) {
+				break
+			}
+		}
+		col.mu.Lock()
+		col.writeLats = append(col.writeLats, lat)
+		col.mu.Unlock()
+	case errors.Is(err, client.ErrOverloaded):
+		col.wshed.Add(1)
+	default:
+		col.wfailed.Add(1)
+	}
+}
+
+// issueWrite sends one write per the mix: an upsert of a random row's
+// content under a random id, or a delete of a random id (misses are
+// fine — they commit nothing and come back in Missing).
+func issueWrite(ctx context.Context, c *client.Client, region string, mix writeMix, isUpsert bool, col *collector) {
+	start := time.Now()
+	var resp wire.MutateResponse
+	var err error
+	if isUpsert {
+		id := rand.Intn(mix.n)
+		resp, err = c.Upsert(ctx, region, []int{id}, [][]float32{mix.rows[rand.Intn(mix.n)]})
+	} else {
+		resp, err = c.Delete(ctx, region, []int{rand.Intn(mix.n)})
+	}
+	col.observeWrite(resp, err, time.Since(start))
 }
 
 // observeTrace harvests per-stage durations from one sampled span
@@ -248,7 +360,7 @@ func (col *collector) observeTrace(td *obs.TraceData) {
 
 // closedLoop runs workers back to back: measures saturation
 // throughput at a fixed multiprogramming level.
-func closedLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k, workers int, d time.Duration, traceEvery int) runResult {
+func closedLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k, workers int, d time.Duration, traceEvery int, mix writeMix) runResult {
 	var col collector
 	var attempted atomic.Uint64
 	deadline := time.Now().Add(d)
@@ -260,6 +372,18 @@ func closedLoop(ctx context.Context, c *client.Client, region string, queries []
 			defer wg.Done()
 			for i := w; time.Now().Before(deadline); i++ {
 				attempted.Add(1)
+				u := 0.0
+				if mix.enabled() {
+					u = rand.Float64()
+				}
+				if u < mix.upsert {
+					issueWrite(ctx, c, region, mix, true, &col)
+					continue
+				}
+				if u < mix.upsert+mix.del {
+					issueWrite(ctx, c, region, mix, false, &col)
+					continue
+				}
 				qStart := time.Now()
 				q := queries[i%len(queries)]
 				var resp wire.SearchResponse
@@ -279,13 +403,16 @@ func closedLoop(ctx context.Context, c *client.Client, region string, queries []
 		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
 		failed: col.failed.Load(), degraded: col.degraded.Load(),
 		latencies: col.latencies, stages: col.stages,
+		writeOK: col.wok.Load(), writeShed: col.wshed.Load(),
+		writeFailed: col.wfailed.Load(), writeLats: col.writeLats,
+		seqWater: col.seq.Load(),
 	}
 }
 
 // openLoop issues arrivals on a Poisson process at the target rate,
 // regardless of completions (no coordinated omission); a bounded
 // in-flight cap keeps a melting server from exhausting the client.
-func openLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k int, rate float64, maxInFlight int, d time.Duration, seed int64, traceEvery int) runResult {
+func openLoop(ctx context.Context, c *client.Client, region string, queries [][]float32, k int, rate float64, maxInFlight int, d time.Duration, seed int64, traceEvery int, mix writeMix) runResult {
 	var col collector
 	var attempted, dropped atomic.Uint64
 	rng := rand.New(rand.NewSource(seed))
@@ -312,6 +439,14 @@ func openLoop(ctx context.Context, c *client.Client, region string, queries [][]
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-inflight }()
+			u := 0.0
+			if mix.enabled() {
+				u = rand.Float64()
+			}
+			if u < mix.upsert+mix.del {
+				issueWrite(ctx, c, region, mix, u < mix.upsert, &col)
+				return
+			}
 			qStart := time.Now()
 			q := queries[i%len(queries)]
 			var resp wire.SearchResponse
@@ -330,5 +465,8 @@ func openLoop(ctx context.Context, c *client.Client, region string, queries [][]
 		attempted: attempted.Load(), ok: col.ok.Load(), shed: col.shed.Load(),
 		failed: col.failed.Load(), dropped: dropped.Load(),
 		degraded: col.degraded.Load(), latencies: col.latencies, stages: col.stages,
+		writeOK: col.wok.Load(), writeShed: col.wshed.Load(),
+		writeFailed: col.wfailed.Load(), writeLats: col.writeLats,
+		seqWater: col.seq.Load(),
 	}
 }

@@ -59,15 +59,19 @@ type GraphRow struct {
 
 // GraphTrajectory is the JSON shape committed as BENCH_06_graph.json.
 type GraphTrajectory struct {
-	Experiment string     `json:"experiment"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Scale      float64    `json:"scale"`
-	Queries    int        `json:"queries"`
-	Dataset    string     `json:"dataset"`
-	N          int        `json:"n"`
-	Dim        int        `json:"dim"`
-	K          int        `json:"k"`
-	Rows       []GraphRow `json:"rows"`
+	Experiment string `json:"experiment"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU records the machine's logical CPU count alongside
+	// GOMAXPROCS (they differ under CPU quotas), absent from
+	// trajectories recorded before it was added.
+	NumCPU  int        `json:"numcpu,omitempty"`
+	Scale   float64    `json:"scale"`
+	Queries int        `json:"queries"`
+	Dataset string     `json:"dataset"`
+	N       int        `json:"n"`
+	Dim     int        `json:"dim"`
+	K       int        `json:"k"`
+	Rows    []GraphRow `json:"rows"`
 }
 
 // BestAtRecall returns each algorithm's highest QPS among rows with
@@ -99,6 +103,7 @@ func GraphSweep(o Options) (GraphTrajectory, error) {
 	out := GraphTrajectory{
 		Experiment: "graph",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Scale:      o.Scale,
 		Queries:    len(qs),
 		Dataset:    spec.Name,

@@ -37,11 +37,15 @@ type VaultRow struct {
 // enough machine context to interpret the rates later in the
 // trajectory.
 type VaultTrajectory struct {
-	Experiment string     `json:"experiment"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Scale      float64    `json:"scale"`
-	Queries    int        `json:"queries"`
-	Rows       []VaultRow `json:"rows"`
+	Experiment string `json:"experiment"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU records the machine's logical CPU count alongside
+	// GOMAXPROCS (they differ under CPU quotas), absent from
+	// trajectories recorded before it was added.
+	NumCPU  int        `json:"numcpu,omitempty"`
+	Scale   float64    `json:"scale"`
+	Queries int        `json:"queries"`
+	Rows    []VaultRow `json:"rows"`
 }
 
 // VaultSweep measures single-query host throughput of the float linear
@@ -55,6 +59,7 @@ func VaultSweep(o Options) (VaultTrajectory, error) {
 	out := VaultTrajectory{
 		Experiment: "vaults",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Scale:      o.Scale,
 		Queries:    o.Queries,
 	}

@@ -300,6 +300,36 @@ func (c *Client) SearchBatchFull(ctx context.Context, name string, queries [][]f
 	return resp, err
 }
 
+// Upsert inserts or replaces rows by external id (ids[i] names
+// vectors[i]) and returns the region's last committed mutation
+// sequence number. Like every mutation it is never retried on shed
+// load — a blind re-send would double-commit sequence numbers — so a
+// 503 surfaces immediately as ErrOverloaded for the caller to decide.
+func (c *Client) Upsert(ctx context.Context, name string, ids []int, vectors [][]float32) (wire.MutateResponse, error) {
+	var resp wire.MutateResponse
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/upsert",
+		wire.UpsertRequest{IDs: ids, Vectors: vectors}, &resp, false)
+	return resp, err
+}
+
+// Delete tombstones rows by external id. Absent ids are not an error;
+// they come back in MutateResponse.Missing. Not retried on shed load.
+func (c *Client) Delete(ctx context.Context, name string, ids []int) (wire.MutateResponse, error) {
+	var resp wire.MutateResponse
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/delete",
+		wire.DeleteRequest{IDs: ids}, &resp, false)
+	return resp, err
+}
+
+// Compact runs one synchronous compaction pass on a mutated region.
+// Not retried on shed load (compaction is heavy; the caller should
+// re-decide, not the transport).
+func (c *Client) Compact(ctx context.Context, name string) (wire.CompactResponse, error) {
+	var resp wire.CompactResponse
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/compact", nil, &resp, false)
+	return resp, err
+}
+
 // Free releases the region (nfree).
 func (c *Client) Free(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/regions/"+name, nil, nil, false)

@@ -35,14 +35,22 @@ type Stats struct {
 	Dims      int // total vector dimensions touched by distance math
 	PQInserts int // candidate offers to the top-k structure
 	PQKept    int // offers that were admitted
+	// Seq is the mutation sequence number of the snapshot the query
+	// executed against (internal/mutate); 0 for the immutable engines,
+	// whose datasets have no generations.
+	Seq uint64
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Seq, a generation marker rather than a
+// work counter, keeps the newest value seen.
 func (s *Stats) Add(other Stats) {
 	s.DistEvals += other.DistEvals
 	s.Dims += other.Dims
 	s.PQInserts += other.PQInserts
 	s.PQKept += other.PQKept
+	if other.Seq > s.Seq {
+		s.Seq = other.Seq
+	}
 }
 
 // Engine is an exact linear-scan kNN engine over float32 vectors.

@@ -121,10 +121,16 @@ func TestEngineStats(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{1, 2, 3, 4}
-	a.Add(Stats{10, 20, 30, 40})
-	if a != (Stats{11, 22, 33, 44}) {
+	a := Stats{1, 2, 3, 4, 9}
+	a.Add(Stats{10, 20, 30, 40, 7})
+	if a != (Stats{11, 22, 33, 44, 9}) {
 		t.Fatalf("Add = %+v", a)
+	}
+	// Seq is a generation marker, not a work counter: Add keeps the
+	// newest value seen rather than summing.
+	a.Add(Stats{Seq: 12})
+	if a.Seq != 12 {
+		t.Fatalf("Seq = %d, want 12", a.Seq)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"ssam"
 	"ssam/internal/obs"
 )
 
@@ -61,6 +62,31 @@ func (s *Server) registerRegionMetrics(e *regionEntry) {
 			return float64(depth)
 		})
 	if e.cluster == nil {
+		// Write-path series for mutable (unsharded) regions. The region
+		// pointer is fixed for the entry's lifetime and MutationStats is
+		// lock-free (all zeros until the first write, and again after
+		// Free detaches the store — Unregister precedes Free anyway).
+		region := e.region
+		mst := func() ssam.MutationStats { st, _ := region.MutationStats(); return st }
+		s.registry.GaugeFunc("ssam_region_mutation_seq",
+			"Last committed mutation sequence number, per region.", lbl,
+			func() float64 { return float64(mst().Seq) })
+		s.registry.GaugeFunc("ssam_region_live_rows",
+			"Surviving rows in the mutable store, per region.", lbl,
+			func() float64 { return float64(mst().Live) })
+		s.registry.GaugeFunc("ssam_region_dead_rows",
+			"Tombstoned rows awaiting compaction, per region.", lbl,
+			func() float64 { return float64(mst().Dead) })
+		s.registry.GaugeFunc("ssam_region_garbage_ratio",
+			"Tombstone fraction of physical rows, per region.", lbl,
+			func() float64 { return mst().GarbageRatio })
+		s.registry.CounterFunc("ssam_region_upserts_total", "Committed upserts, per region.", lbl,
+			func() uint64 { return mst().Upserts })
+		s.registry.CounterFunc("ssam_region_deletes_total", "Committed deletes, per region.", lbl,
+			func() uint64 { return mst().Deletes })
+		s.registry.CounterFunc("ssam_region_compact_passes_total",
+			"Compaction passes run (including no-ops), per region.", lbl,
+			func() uint64 { return mst().CompactPasses })
 		return
 	}
 	// The cluster pointer is fixed for the entry's lifetime and its

@@ -22,6 +22,9 @@
 //	POST   /regions/{name}/build     nbuild_index
 //	POST   /regions/{name}/search    nwrite_query + nexec + nread_result (micro-batched)
 //	POST   /regions/{name}/searchbatch  explicit batch, bypasses the batcher
+//	POST   /regions/{name}/upsert    insert/replace rows by id (Linear regions)
+//	POST   /regions/{name}/delete    tombstone rows by id
+//	POST   /regions/{name}/compact   one synchronous compaction pass
 //	GET    /regions[/{name}]         registry inspection
 //	DELETE /regions/{name}           nfree
 //	GET    /statsz                   per-region QPS, batch sizes, queue depth, p50/p99
@@ -158,6 +161,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /regions/{name}/build", s.handleBuild)
 	s.mux.HandleFunc("POST /regions/{name}/search", s.handleSearch)
 	s.mux.HandleFunc("POST /regions/{name}/searchbatch", s.handleSearchBatch)
+	s.mux.HandleFunc("POST /regions/{name}/upsert", s.handleUpsert)
+	s.mux.HandleFunc("POST /regions/{name}/delete", s.handleDelete)
+	s.mux.HandleFunc("POST /regions/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
@@ -494,6 +500,11 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if e.batcher != nil {
 		e.batcher.Close()
 	}
+	// Built Linear regions can take writes; surface compaction passes
+	// in /tracez and the region counters from the moment that becomes
+	// possible (the hook is installed before any write can migrate the
+	// region to its mutable store).
+	s.installCompactHook(e)
 	region := e.region
 	e.batcher = batcher.New(region.SearchBatchSpan, batcher.Options{
 		Window:   s.opts.BatchWindow,
@@ -716,6 +727,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		depth := 0
 		var shardStats []wire.ShardStats
 		e.mu.Lock()
+		region := e.region
 		if e.batcher != nil {
 			depth = e.batcher.Pending()
 		}
@@ -737,6 +749,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		e.mu.Unlock()
 		rs := e.stats.snapshot(depth)
 		rs.Shards = shardStats
+		if region != nil {
+			if mst, ok := region.MutationStats(); ok {
+				rs.Mutation = toWireMutation(mst)
+			}
+		}
 		resp.Regions[name] = rs
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -35,11 +35,13 @@ const (
 // only what Prometheus has no vocabulary for — the trailing-window QPS
 // ring and the exact-percentile latency reservoir /statsz reports.
 type regionStats struct {
-	queries   *obs.Counter   // ssam_region_queries_total
-	batches   *obs.Counter   // ssam_region_batches_total
-	degraded  *obs.Counter   // ssam_region_degraded_total
-	batchSize *obs.Histogram // ssam_region_batch_size
-	latency   *obs.Histogram // ssam_region_latency_seconds
+	queries     *obs.Counter   // ssam_region_queries_total
+	batches     *obs.Counter   // ssam_region_batches_total
+	degraded    *obs.Counter   // ssam_region_degraded_total
+	writes      *obs.Counter   // ssam_region_writes_total
+	compactions *obs.Counter   // ssam_region_compactions_total
+	batchSize   *obs.Histogram // ssam_region_batch_size
+	latency     *obs.Histogram // ssam_region_latency_seconds
 
 	mu       sync.Mutex
 	maxBatch int
@@ -62,11 +64,13 @@ func newRegionStats(reg *obs.Registry, region string) *regionStats {
 		sizeBounds[i] = float64(le)
 	}
 	return &regionStats{
-		queries:   reg.Counter("ssam_region_queries_total", "Queries served, per region.", lbl),
-		batches:   reg.Counter("ssam_region_batches_total", "Batch executions, per region.", lbl),
-		degraded:  reg.Counter("ssam_region_degraded_total", "Partial-result (degraded) responses, per region.", lbl),
-		batchSize: reg.Histogram("ssam_region_batch_size", "Executed batch sizes, per region.", lbl, sizeBounds),
-		latency:   reg.Histogram("ssam_region_latency_seconds", "Request latency including batching wait, per region.", lbl, latencyBounds),
+		queries:     reg.Counter("ssam_region_queries_total", "Queries served, per region.", lbl),
+		batches:     reg.Counter("ssam_region_batches_total", "Batch executions, per region.", lbl),
+		degraded:    reg.Counter("ssam_region_degraded_total", "Partial-result (degraded) responses, per region.", lbl),
+		writes:      reg.Counter("ssam_region_writes_total", "Committed upserts and deletes, per region.", lbl),
+		compactions: reg.Counter("ssam_region_compactions_total", "Layout-changing compaction passes, per region.", lbl),
+		batchSize:   reg.Histogram("ssam_region_batch_size", "Executed batch sizes, per region.", lbl, sizeBounds),
+		latency:     reg.Histogram("ssam_region_latency_seconds", "Request latency including batching wait, per region.", lbl, latencyBounds),
 	}
 }
 
@@ -96,6 +100,18 @@ func (s *regionStats) recordQueries(n int, lat time.Duration) {
 // recordDegraded accounts one partial-result (degraded) response.
 func (s *regionStats) recordDegraded() {
 	s.degraded.Inc()
+}
+
+// recordWrites accounts n committed mutations (upserted rows or hit
+// deletes) from one write request.
+func (s *regionStats) recordWrites(n int) {
+	s.writes.Add(uint64(n))
+}
+
+// recordCompaction accounts one layout-changing compaction pass; runs
+// on the compactor goroutine via the region's compact hook.
+func (s *regionStats) recordCompaction() {
+	s.compactions.Inc()
 }
 
 // recordBatch accounts one executed batch of the given size.

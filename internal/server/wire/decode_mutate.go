@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed validation errors for the mutation decoders. Callers (and
+// tests) match them with errors.Is; the wrapped message carries the
+// offending index for the response body.
+var (
+	// ErrNoIDs marks an upsert/delete body with an empty id list.
+	ErrNoIDs = errors.New("wire: no ids")
+	// ErrIDVectorMismatch marks an upsert whose parallel arrays differ
+	// in length.
+	ErrIDVectorMismatch = errors.New("wire: ids and vectors lengths differ")
+	// ErrNegativeID marks a negative external id.
+	ErrNegativeID = errors.New("wire: negative id")
+	// ErrDimMismatch marks ragged upsert vectors (rows of differing
+	// dimensionality within one request — the region's own dim check
+	// happens server-side, where the region is known).
+	ErrDimMismatch = errors.New("wire: ragged vector dimensions")
+	// ErrNonFinite marks a NaN or ±Inf vector element, which could not
+	// survive a JSON re-encode.
+	ErrNonFinite = errors.New("wire: non-finite vector value")
+)
+
+// DecodeUpsert decodes and validates an UpsertRequest body.
+func DecodeUpsert(data []byte) (UpsertRequest, error) {
+	var req UpsertRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return UpsertRequest{}, err
+	}
+	if len(req.IDs) == 0 {
+		return UpsertRequest{}, ErrNoIDs
+	}
+	if len(req.IDs) != len(req.Vectors) {
+		return UpsertRequest{}, fmt.Errorf("%w: %d ids, %d vectors", ErrIDVectorMismatch, len(req.IDs), len(req.Vectors))
+	}
+	for i, id := range req.IDs {
+		if id < 0 {
+			return UpsertRequest{}, fmt.Errorf("%w: ids[%d] = %d", ErrNegativeID, i, id)
+		}
+	}
+	dim := len(req.Vectors[0])
+	if dim == 0 {
+		return UpsertRequest{}, fmt.Errorf("%w: vectors[0] is empty", ErrDimMismatch)
+	}
+	for i, v := range req.Vectors {
+		if len(v) != dim {
+			return UpsertRequest{}, fmt.Errorf("%w: vectors[%d] has %d dims, vectors[0] has %d", ErrDimMismatch, i, len(v), dim)
+		}
+		for _, x := range v {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				return UpsertRequest{}, fmt.Errorf("%w: vectors[%d]", ErrNonFinite, i)
+			}
+		}
+	}
+	return req, nil
+}
+
+// DecodeDelete decodes and validates a DeleteRequest body.
+func DecodeDelete(data []byte) (DeleteRequest, error) {
+	var req DeleteRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return DeleteRequest{}, err
+	}
+	if len(req.IDs) == 0 {
+		return DeleteRequest{}, ErrNoIDs
+	}
+	for i, id := range req.IDs {
+		if id < 0 {
+			return DeleteRequest{}, fmt.Errorf("%w: ids[%d] = %d", ErrNegativeID, i, id)
+		}
+	}
+	return req, nil
+}

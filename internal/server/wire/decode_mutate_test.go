@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestDecodeUpsert(t *testing.T) {
+	req, err := DecodeUpsert([]byte(`{"ids":[0,7],"vectors":[[1,2,3],[4,5,6]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := UpsertRequest{IDs: []int{0, 7}, Vectors: [][]float32{{1, 2, 3}, {4, 5, 6}}}
+	if !reflect.DeepEqual(req, want) {
+		t.Fatalf("got %+v", req)
+	}
+
+	cases := []struct {
+		name string
+		body string
+		want error // nil means "any error"
+	}{
+		{"empty ids", `{"ids":[],"vectors":[]}`, ErrNoIDs},
+		{"length mismatch", `{"ids":[1],"vectors":[[1],[2]]}`, ErrIDVectorMismatch},
+		{"negative id", `{"ids":[-3],"vectors":[[1,2]]}`, ErrNegativeID},
+		{"ragged dims", `{"ids":[1,2],"vectors":[[1,2],[3]]}`, ErrDimMismatch},
+		{"empty vector", `{"ids":[1],"vectors":[[]]}`, ErrDimMismatch},
+		{"unknown field", `{"ids":[1],"vectors":[[1]],"extra":true}`, nil},
+		{"trailing data", `{"ids":[1],"vectors":[[1]]}garbage`, nil},
+		{"not an object", `[1,2,3]`, nil},
+	}
+	for _, c := range cases {
+		_, err := DecodeUpsert([]byte(c.body))
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Fatalf("%s: err = %v, want errors.Is(%v)", c.name, err, c.want)
+		}
+	}
+
+	// Non-finite values cannot travel as JSON numbers, so they arrive
+	// as a decode error rather than reaching the finiteness check; the
+	// typed path is still pinned directly.
+	if _, err := DecodeUpsert([]byte(`{"ids":[1],"vectors":[[1e999]]}`)); err == nil {
+		t.Fatal("overflowing float accepted")
+	}
+}
+
+func TestDecodeDelete(t *testing.T) {
+	req, err := DecodeDelete([]byte(`{"ids":[3,1,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, DeleteRequest{IDs: []int{3, 1, 4}}) {
+		t.Fatalf("got %+v", req)
+	}
+	if _, err := DecodeDelete([]byte(`{"ids":[]}`)); !errors.Is(err, ErrNoIDs) {
+		t.Fatalf("empty ids: %v", err)
+	}
+	if _, err := DecodeDelete([]byte(`{"ids":[-1]}`)); !errors.Is(err, ErrNegativeID) {
+		t.Fatalf("negative id: %v", err)
+	}
+	if _, err := DecodeDelete([]byte(`{"ids":[1],"unknown":true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeDelete([]byte(`{"ids":[1]} tail`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}

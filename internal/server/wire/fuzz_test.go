@@ -11,8 +11,8 @@ import (
 // must survive a Marshal/Decode round trip unchanged — which is why
 // the decoders reject non-finite floats (encoding/json cannot encode
 // them) and trailing garbage. kind selects the payload family:
-// 'c' create, 'l' load, 's' search, 'b' batch; other bytes exercise
-// every decoder on the same input.
+// 'c' create, 'l' load, 's' search, 'b' batch, 'u' upsert, 'd' delete;
+// other bytes exercise every decoder on the same input.
 func FuzzDecodeRequests(f *testing.F) {
 	seeds := []struct {
 		kind byte
@@ -39,6 +39,18 @@ func FuzzDecodeRequests(f *testing.F) {
 		{'b', `{"queries"`},
 		{'x', `null`},
 		{'x', `{"query":[1],"k":1}`},
+		{'u', `{"ids":[0,7],"vectors":[[1,2,3],[4,5,6]]}`},
+		{'u', `{"ids":[1],"vectors":[[1,2],[3,4]]}`},
+		{'u', `{"ids":[-3],"vectors":[[1,2]]}`},
+		{'u', `{"ids":[1,2],"vectors":[[1,2],[3]]}`},
+		{'u', `{"ids":[],"vectors":[]}`},
+		{'u', `{"ids":[1],"vectors":[[1,2]],"extra":1}`},
+		{'u', `{"ids":[1],"vectors":[[1,2]]}trailing`},
+		{'d', `{"ids":[3,1,4]}`},
+		{'d', `{"ids":[]}`},
+		{'d', `{"ids":[-1]}`},
+		{'d', `{"ids":[1],"unknown":true}`},
+		{'x', `{"ids":[1],"vectors":[[1]]}`},
 	}
 	for _, s := range seeds {
 		f.Add(s.kind, []byte(s.body))
@@ -53,11 +65,17 @@ func FuzzDecodeRequests(f *testing.F) {
 			roundTrip(t, data, DecodeSearch)
 		case 'b':
 			roundTrip(t, data, DecodeSearchBatch)
+		case 'u':
+			roundTrip(t, data, DecodeUpsert)
+		case 'd':
+			roundTrip(t, data, DecodeDelete)
 		default:
 			roundTrip(t, data, DecodeCreateRegion)
 			roundTrip(t, data, DecodeLoad)
 			roundTrip(t, data, DecodeSearch)
 			roundTrip(t, data, DecodeSearchBatch)
+			roundTrip(t, data, DecodeUpsert)
+			roundTrip(t, data, DecodeDelete)
 		}
 	})
 }

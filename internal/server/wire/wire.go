@@ -135,6 +135,45 @@ type SearchBatchResponse struct {
 	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
+// UpsertRequest inserts or replaces rows by external id — parallel
+// arrays, IDs[i] naming Vectors[i]. Rows with ids already present are
+// replaced atomically (each upsert commits one sequence number).
+type UpsertRequest struct {
+	IDs     []int       `json:"ids"`
+	Vectors [][]float32 `json:"vectors"`
+}
+
+// DeleteRequest tombstones rows by external id. Absent ids are not an
+// error: they are reported back in MutateResponse.Missing and commit no
+// sequence number.
+type DeleteRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// MutateResponse answers an upsert or delete. Seq is the region's last
+// committed mutation sequence number after the request — strictly
+// monotonic per region, so clients can order their writes and readers
+// can correlate /statsz and trace generations.
+type MutateResponse struct {
+	Seq     uint64 `json:"seq"`
+	Applied int    `json:"applied"`           // mutations that committed
+	Missing []int  `json:"missing,omitempty"` // delete only: ids not present
+	Len     int    `json:"len"`               // live rows after the request
+	// Trace is the request's sampled span tree, present only when the
+	// request carried the X-SSAM-Trace header.
+	Trace *obs.TraceData `json:"trace,omitempty"`
+}
+
+// CompactResponse answers POST /regions/{name}/compact (one synchronous
+// compaction pass).
+type CompactResponse struct {
+	Seq             uint64 `json:"seq"`
+	VaultsRewritten int    `json:"vaults_rewritten"`
+	Rebalanced      bool   `json:"rebalanced"`
+	RowsDropped     int    `json:"rows_dropped"`
+	Len             int    `json:"len"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -162,6 +201,22 @@ type RegionStats struct {
 	Degraded uint64 `json:"degraded,omitempty"`
 	// Shards holds per-shard serving stats for sharded regions.
 	Shards []ShardStats `json:"shards,omitempty"`
+	// Mutation holds write-path counters, present only once the region
+	// has taken at least one upsert or delete.
+	Mutation *MutationStats `json:"mutation,omitempty"`
+}
+
+// MutationStats is the write-path block of a region's stats.
+type MutationStats struct {
+	Seq           uint64  `json:"seq"`       // last committed sequence number
+	LiveRows      int     `json:"live_rows"` // surviving rows
+	DeadRows      int     `json:"dead_rows"` // tombstones not yet compacted
+	Upserts       uint64  `json:"upserts"`
+	Deletes       uint64  `json:"deletes"`
+	CompactPasses uint64  `json:"compact_passes"`
+	VaultRewrites uint64  `json:"vault_rewrites"`
+	Rebalances    uint64  `json:"rebalances"`
+	GarbageRatio  float64 `json:"garbage_ratio"`
 }
 
 // ShardStats is one shard's block of a sharded region's stats.

@@ -1,0 +1,33 @@
+package ssamdev
+
+// ApproxLinearStats models a full linear scan over rows vectors without
+// running the cycle simulator — the device cost of a query against a
+// mutated region (internal/mutate), whose row population has changed
+// since the device laid out its DRAM image. The cycle simulator scans a
+// frozen layout, so mutated regions are priced analytically instead: a
+// linear scan parallelizes perfectly across the module's PUs, each
+// scanning an equal share at the calibrated cycles-per-vector rate, and
+// every row costs the Table II inner loop (one load, one subtract, one
+// multiply-accumulate per vector chunk) plus a queue offer.
+func (d *Device) ApproxLinearStats(rows int) QueryStats {
+	if rows < 0 {
+		rows = 0
+	}
+	pus := len(d.slices)
+	if pus == 0 {
+		pus = 1
+	}
+	perPU := (rows + pus - 1) / pus
+	cycles := uint64(float64(perPU) * d.cyclesPer)
+	chunks := uint64((d.padded + d.cfg.PU.VectorLen - 1) / d.cfg.PU.VectorLen)
+	vecInsts := uint64(rows) * chunks * 3
+	return QueryStats{
+		Cycles:        cycles,
+		Seconds:       float64(cycles) / d.cfg.PU.ClockHz,
+		Instructions:  vecInsts + uint64(rows),
+		VectorInsts:   vecInsts,
+		DRAMBytesRead: uint64(rows) * uint64(d.padded) * 4,
+		PQInserts:     uint64(rows),
+		PUs:           len(d.slices),
+	}
+}

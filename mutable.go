@@ -1,0 +1,338 @@
+package ssam
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ssam/internal/mutate"
+	"ssam/internal/obs"
+	"ssam/internal/vec"
+)
+
+// ErrImmutableEngine is returned by Upsert and Delete on regions whose
+// engine cannot take writes. Only Linear regions are mutable: the index
+// structures (kd-tree forests, k-means trees, LSH tables, and the
+// layered graph) bake row positions into their geometry at build time,
+// so an in-place write would silently corrupt recall; they require a
+// rebuild (see DESIGN.md §11).
+var ErrImmutableEngine = errors.New("ssam: engine does not support mutation; only Linear regions are mutable")
+
+// MutationStats is a point-in-time view of a mutable region's write
+// state (sequence number, live/dead rows, compaction counters).
+type MutationStats = mutate.StoreStats
+
+// CompactResult summarizes one compaction pass over a mutable region.
+type CompactResult = mutate.CompactResult
+
+// DefaultCompactInterval is the background compactor period for regions
+// that migrate to the mutable store.
+const DefaultCompactInterval = 200 * time.Millisecond
+
+// regionStore holds the mutable store a Linear region migrates to on
+// its first write — exactly one of f (float metrics) or b (Hamming) is
+// set.
+type regionStore struct {
+	f *mutate.Store[[]float32]
+	b *mutate.Store[vec.Binary]
+}
+
+func (ms *regionStore) len() int {
+	if ms.b != nil {
+		return ms.b.Len()
+	}
+	return ms.f.Len()
+}
+
+func (ms *regionStore) stats() MutationStats {
+	if ms.b != nil {
+		return ms.b.Stats()
+	}
+	return ms.f.Stats()
+}
+
+func (ms *regionStore) close() {
+	if ms.b != nil {
+		ms.b.Close()
+	} else {
+		ms.f.Close()
+	}
+}
+
+func (ms *regionStore) compactOnce() CompactResult {
+	if ms.b != nil {
+		return ms.b.CompactOnce()
+	}
+	return ms.f.CompactOnce()
+}
+
+// mutable returns the region's store if it has migrated to the write
+// path (lock-free; the search fast paths call this per query).
+func (r *Region) mutable() *regionStore { return r.mut.Load() }
+
+// Mutable reports whether the region has taken at least one write and
+// is serving from the mutable store.
+func (r *Region) Mutable() bool { return r.mut.Load() != nil }
+
+// Seq returns the region's last committed mutation sequence number
+// (zero before the first write).
+func (r *Region) Seq() uint64 {
+	if ms := r.mut.Load(); ms != nil {
+		if ms.b != nil {
+			return ms.b.Seq()
+		}
+		return ms.f.Seq()
+	}
+	return 0
+}
+
+// MutationStats returns the region's write-path counters; ok is false
+// if the region has never been mutated.
+func (r *Region) MutationStats() (MutationStats, bool) {
+	ms := r.mut.Load()
+	if ms == nil {
+		return MutationStats{}, false
+	}
+	return ms.stats(), true
+}
+
+// SetCompactHook installs fn to run after every compaction pass that
+// changes the region's physical layout (the server uses it to emit
+// compaction traces and counters). It applies to the current store and
+// any future migration; fn runs on the compactor goroutine.
+func (r *Region) SetCompactHook(fn func(CompactResult)) {
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
+	r.onCompact = fn
+	if ms := r.mut.Load(); ms != nil {
+		if ms.b != nil {
+			ms.b.OnCompact = fn
+		} else {
+			ms.f.OnCompact = fn
+		}
+	}
+}
+
+// CompactNow runs one synchronous compaction pass, for deterministic
+// tests and the server's POST /regions/{name}/compact endpoint. It is
+// an error on a region that has never been mutated (there is nothing to
+// compact before the first write).
+func (r *Region) CompactNow() (CompactResult, error) {
+	if r.freed {
+		return CompactResult{}, ErrFreed
+	}
+	ms := r.mut.Load()
+	if ms == nil {
+		return CompactResult{}, errors.New("ssam: CompactNow on an unmutated region")
+	}
+	return ms.compactOnce(), nil
+}
+
+// Upsert inserts vector v under id (replacing any existing row with
+// that id) and returns the committed mutation sequence number. The
+// first write migrates a Linear region from its immutable engine to the
+// mutable store, seeded with the loaded dataset under ids 0..n-1;
+// searches before and after migration are bit-identical on the same
+// logical content. Safe to call concurrently with searches and other
+// mutations. Non-Linear regions return ErrImmutableEngine.
+func (r *Region) Upsert(id int, v []float32) (uint64, error) {
+	if r.cfg.Metric == Hamming {
+		return 0, errors.New("ssam: float upsert on a Hamming region; use UpsertBinary")
+	}
+	if len(v) != r.dims {
+		return 0, fmt.Errorf("ssam: row dim %d, want %d", len(v), r.dims)
+	}
+	ms, err := r.migrate()
+	if err != nil {
+		return 0, err
+	}
+	return ms.f.Upsert(id, v)
+}
+
+// UpsertBinary is Upsert for Hamming regions.
+func (r *Region) UpsertBinary(id int, c BinaryCode) (uint64, error) {
+	if r.cfg.Metric != Hamming {
+		return 0, errors.New("ssam: binary upsert on a non-Hamming region")
+	}
+	if c.Dim != r.dims {
+		return 0, fmt.Errorf("ssam: code width %d, want %d", c.Dim, r.dims)
+	}
+	ms, err := r.migrate()
+	if err != nil {
+		return 0, err
+	}
+	return ms.b.Upsert(id, c)
+}
+
+// Delete tombstones the row with the given id, reporting whether it was
+// present; a miss does not commit a sequence number. Like Upsert, the
+// first write migrates a Linear region to the mutable store.
+func (r *Region) Delete(id int) (seq uint64, ok bool, err error) {
+	ms, err := r.migrate()
+	if err != nil {
+		return 0, false, err
+	}
+	if ms.b != nil {
+		seq, ok = ms.b.Delete(id)
+	} else {
+		seq, ok = ms.f.Delete(id)
+	}
+	return seq, ok, nil
+}
+
+// migrate returns the region's mutable store, performing the one-time
+// engine-to-store migration on first use. Concurrent first writes are
+// serialized by mutMu; searches never take that lock — they observe the
+// migration through the atomic pointer, and because the store is seeded
+// with exactly the engine's rows under ids equal to row indices, a
+// query racing the flip returns bit-identical results either way.
+func (r *Region) migrate() (*regionStore, error) {
+	if ms := r.mut.Load(); ms != nil {
+		return ms, nil
+	}
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
+	if ms := r.mut.Load(); ms != nil {
+		return ms, nil
+	}
+	if r.freed {
+		return nil, ErrFreed
+	}
+	if r.cfg.Mode != Linear {
+		return nil, ErrImmutableEngine
+	}
+	if !r.built {
+		return nil, errors.New("ssam: mutation before BuildIndex")
+	}
+	opts := mutate.Options{Vaults: r.cfg.Vaults}
+	ms := &regionStore{}
+	if r.cfg.Metric == Hamming {
+		ms.b = mutate.NewBinary(r.dims, opts)
+		n := len(r.codes)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		if err := ms.b.Seed(ids, r.codes); err != nil {
+			return nil, err
+		}
+		ms.b.OnCompact = r.onCompact
+		ms.b.StartCompactor(DefaultCompactInterval)
+	} else {
+		ms.f = mutate.NewFloat(r.dims, r.cfg.Metric.toVec(), opts)
+		n := len(r.data) / r.dims
+		ids := make([]int, n)
+		rows := make([][]float32, n)
+		for i := range ids {
+			ids[i] = i
+			rows[i] = r.data[i*r.dims : (i+1)*r.dims]
+		}
+		if err := ms.f.Seed(ids, rows); err != nil {
+			return nil, err
+		}
+		ms.f.OnCompact = r.onCompact
+		ms.f.StartCompactor(DefaultCompactInterval)
+	}
+	r.mut.Store(ms)
+	return ms, nil
+}
+
+// dropStore closes and detaches the mutable store (dataset reload and
+// Free): the region reverts to pure load-then-search state.
+func (r *Region) dropStore() {
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
+	if ms := r.mut.Load(); ms != nil {
+		ms.close()
+		r.mut.Store(nil)
+	}
+}
+
+// searchMutable answers a float query from the mutable store. For
+// Device execution the store computes the results (the cycle simulator
+// scans a frozen layout) and the device prices the scan analytically —
+// same result bits, modeled cost.
+func (r *Region) searchMutable(ms *regionStore, q []float32, k int, sp *obs.Span) ([]Result, DeviceStats, error) {
+	execTag := "host"
+	if r.device != nil {
+		execTag = "device"
+	}
+	esp := sp.Start("exec",
+		obs.Tag{Key: "execution", Value: execTag},
+		obs.Tag{Key: "mutable", Value: true},
+		obs.Tag{Key: "vaults", Value: ms.f.Vaults()})
+	res, st := ms.f.SearchStatsSpan(q, k, esp)
+	if esp != nil {
+		esp.SetTag("seq", st.Seq)
+		esp.SetTag("live_rows", st.DistEvals)
+	}
+	esp.End()
+	if r.device != nil {
+		// st.DistEvals is exactly the live rows the device would scan.
+		dst := toDeviceStats(r.device.ApproxLinearStats(st.DistEvals))
+		r.mu.Lock()
+		r.lastStats = dst
+		r.mu.Unlock()
+		return res, dst, nil
+	}
+	return res, DeviceStats{}, nil
+}
+
+// searchMutableBinary is searchMutable for Hamming queries.
+func (r *Region) searchMutableBinary(ms *regionStore, q BinaryCode, k int, sp *obs.Span) ([]Result, DeviceStats, error) {
+	execTag := "host"
+	if r.device != nil {
+		execTag = "device"
+	}
+	esp := sp.Start("exec",
+		obs.Tag{Key: "execution", Value: execTag},
+		obs.Tag{Key: "mutable", Value: true},
+		obs.Tag{Key: "vaults", Value: ms.b.Vaults()})
+	res, st := ms.b.SearchStatsSpan(q, k, esp)
+	if esp != nil {
+		esp.SetTag("seq", st.Seq)
+		esp.SetTag("live_rows", st.DistEvals)
+	}
+	esp.End()
+	if r.device != nil {
+		dst := toDeviceStats(r.device.ApproxLinearStats(st.DistEvals))
+		r.mu.Lock()
+		r.lastStats = dst
+		r.mu.Unlock()
+		return res, dst, nil
+	}
+	return res, DeviceStats{}, nil
+}
+
+// searchMutableBatch answers a float batch from the mutable store, all
+// queries against one snapshot generation.
+func (r *Region) searchMutableBatch(ms *regionStore, qs [][]float32, k int, sp *obs.Span) ([][]Result, error) {
+	execTag := "host"
+	if r.device != nil {
+		execTag = "device"
+	}
+	live := ms.f.Len()
+	esp := sp.Start("exec",
+		obs.Tag{Key: "execution", Value: execTag},
+		obs.Tag{Key: "mutable", Value: true},
+		obs.Tag{Key: "batch", Value: len(qs)},
+		obs.Tag{Key: "vaults", Value: ms.f.Vaults()})
+	out := ms.f.SearchBatch(qs, k, r.cfg.Workers, esp)
+	esp.End()
+	if r.device != nil {
+		per := r.device.ApproxLinearStats(live)
+		var agg DeviceStats
+		for range qs {
+			agg.Cycles += per.Cycles
+			agg.Seconds += per.Seconds
+			agg.Instructions += per.Instructions
+			agg.VectorInstructions += per.VectorInsts
+			agg.DRAMBytesRead += per.DRAMBytesRead
+			agg.ProcessingUnits = per.PUs
+		}
+		r.mu.Lock()
+		r.lastStats = agg
+		r.mu.Unlock()
+	}
+	return out, nil
+}

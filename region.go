@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ssam/internal/graph"
 	"ssam/internal/kdtree"
@@ -80,6 +81,14 @@ type Region struct {
 	// batchFault, when non-nil, runs before each device-mode batch
 	// query (test seam for mid-batch failure injection).
 	batchFault func(i int) error
+
+	// Mutable write path (mutable.go): mut is nil until the first
+	// Upsert/Delete migrates a Linear region to the RCU store. Searches
+	// read it lock-free; mutMu serializes migration, SetCompactHook, and
+	// store teardown.
+	mut       atomic.Pointer[regionStore]
+	mutMu     sync.Mutex
+	onCompact func(CompactResult)
 }
 
 // New allocates an SSAM-enabled region for vectors of the given
@@ -123,8 +132,12 @@ func New(dims int, cfg Config) (*Region, error) {
 // Dims returns the region's vector dimensionality (bits for Hamming).
 func (r *Region) Dims() int { return r.dims }
 
-// Len returns the number of loaded vectors.
+// Len returns the number of loaded vectors — live rows once the region
+// has migrated to the mutable store.
 func (r *Region) Len() int {
+	if ms := r.mutable(); ms != nil {
+		return ms.len()
+	}
 	if r.codes != nil {
 		return len(r.codes)
 	}
@@ -145,6 +158,10 @@ func (r *Region) LoadFloat32(data []float32) error {
 	}
 	r.data = append([]float32(nil), data...)
 	r.loaded, r.built = true, false
+	// A reload replaces the logical dataset wholesale: any mutable store
+	// from a previous generation is stale, so drop it (mutation history
+	// restarts at seq 0 after the next write).
+	r.dropStore()
 	return nil
 }
 
@@ -166,6 +183,7 @@ func (r *Region) LoadBinary(codes []BinaryCode) error {
 	}
 	r.codes = append([]BinaryCode(nil), codes...)
 	r.loaded, r.built = true, false
+	r.dropStore() // see LoadFloat32
 	return nil
 }
 
@@ -382,6 +400,25 @@ func (r *Region) Exec(k int) error {
 		return errors.New("ssam: Exec before WriteQuery")
 	}
 
+	if ms := r.mutable(); ms != nil {
+		var res []Result
+		var st DeviceStats
+		var err error
+		if r.cfg.Metric == Hamming {
+			res, st, err = r.searchMutableBinary(ms, r.queryBin, k, nil)
+		} else {
+			res, st, err = r.searchMutable(ms, r.query, k, nil)
+		}
+		if err != nil {
+			return err
+		}
+		r.lastRes = res
+		r.mu.Lock()
+		r.lastStats = st
+		r.mu.Unlock()
+		return nil
+	}
+
 	if r.device != nil {
 		r.mu.Lock()
 		defer r.mu.Unlock()
@@ -475,6 +512,12 @@ func (r *Region) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]Result, De
 	if k <= 0 {
 		return nil, DeviceStats{}, fmt.Errorf("ssam: k must be positive")
 	}
+	if ms := r.mutable(); ms != nil {
+		// The region has taken writes: serve from the RCU store, which
+		// answers bit-identically to the engine on the same logical
+		// content (Device execution prices the scan analytically).
+		return r.searchMutable(ms, q, k, sp)
+	}
 	if r.device != nil {
 		// The exec span includes the module lock wait: on the simulated
 		// device concurrent queries serialize, and that queueing is
@@ -561,6 +604,9 @@ func (r *Region) SearchBinaryStatsSpan(q BinaryCode, k int, sp *obs.Span) ([]Res
 	if k <= 0 {
 		return nil, DeviceStats{}, fmt.Errorf("ssam: k must be positive")
 	}
+	if ms := r.mutable(); ms != nil {
+		return r.searchMutableBinary(ms, q, k, sp)
+	}
 	if r.device != nil {
 		// As in SearchStatsSpan, the exec span includes the module lock
 		// wait: concurrent queries serialize on the simulated device.
@@ -619,6 +665,12 @@ func (r *Region) SearchBatchSpan(qs [][]float32, k int, sp *obs.Span) ([][]Resul
 		}
 	}
 	out := make([][]Result, len(qs))
+
+	if ms := r.mutable(); ms != nil && ms.f != nil {
+		// The mutable store answers the whole batch against one snapshot
+		// generation — batch-level consistency under concurrent writes.
+		return r.searchMutableBatch(ms, qs, k, sp)
+	}
 
 	if r.device != nil {
 		// As in SearchStatsSpan, the exec span includes the module lock
@@ -788,6 +840,7 @@ func (r *Region) Device() *ssamdev.Device { return r.device }
 // ErrFreed.
 func (r *Region) Free() {
 	r.freed = true
+	r.dropStore()
 	r.data, r.codes = nil, nil
 	r.linear, r.hamming, r.forest, r.kmTree, r.mplsh, r.graphIdx = nil, nil, nil, nil, nil, nil
 	r.device, r.devTree, r.devKMTree, r.devLSH, r.devGraph = nil, nil, nil, nil, nil
