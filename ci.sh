@@ -34,6 +34,10 @@ go run ./cmd/ssam-bench -exp graph -format json -scale 0.001 -queries 2 > /dev/n
 # BENCH_07_mutate.json must keep running end to end.
 go run ./cmd/ssam-bench -exp mutate -format json -scale 0.001 -queries 2 > /dev/null
 
+# Replica-sweep smoke: the availability-under-kill generator behind
+# BENCH_08_replicas.json must keep running end to end.
+go run ./cmd/ssam-bench -exp replicas -format json -scale 0.001 -queries 2 > /dev/null
+
 # Write-mix smoke: stand a server up, drive a brief mixed read/write
 # load through ssam-loadgen (upserts and deletes against a live linear
 # region), and tear it down — the whole wire write path in one shot.
@@ -56,6 +60,37 @@ kill $serve_pid
 wait $serve_pid 2>/dev/null || true
 trap - EXIT
 
+# Replica smoke: serve a 3-replica region with a chaos timer that
+# kills replica 1 two seconds in, then drive live load across both a
+# zero-downtime reload (1s in) and the kill (2s in). -fail-on-degraded
+# makes the driver exit non-zero if a single query came back degraded
+# or failed — the acceptance bar for replicated serving.
+replica_port=18742
+/tmp/ssam-serve-ci -addr 127.0.0.1:$replica_port \
+    -preload glove:0.001 -preload-replicas 3 \
+    -chaos-kill-replica 1 -chaos-after 2s &
+serve_pid=$!
+trap 'kill $serve_pid 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$replica_port") 2>/dev/null; then
+        exec 3>&- || true
+        break
+    fi
+    sleep 0.1
+done
+go run ./cmd/ssam-loadgen -addr "http://127.0.0.1:$replica_port" \
+    -region glove -setup=false -dims 100 -k 5 \
+    -duration 4s -concurrency 4 -reload-at 1s -fail-on-degraded
+# Zipfian multi-tenant smoke on the same server: three small
+# replicated tenants, skewed traffic, zero degraded tolerated.
+go run ./cmd/ssam-loadgen -addr "http://127.0.0.1:$replica_port" \
+    -region tensmoke -tenants 3 -zipf 1.3 -replicas 2 \
+    -n 300 -dims 8 -clusters 4 -k 3 \
+    -duration 1s -concurrency 4 -fail-on-degraded
+kill $serve_pid
+wait $serve_pid 2>/dev/null || true
+trap - EXIT
+
 # Fuzz-seed smoke: replay every committed seed corpus through its fuzz
 # target (no fuzzing engine, just the corpus) so a decoder regression
 # against a known-tricky input fails the gate deterministically.
@@ -65,7 +100,8 @@ go test -run='^Fuzz' -count=1 ./internal/server/wire
 # packages were hardened test-first; don't let coverage rot. The scan
 # kernels (knn) hold a higher bar than the rest.
 for spec in ./internal/server:80 ./internal/cluster:80 ./internal/obs:80 \
-            ./internal/knn:90 ./internal/graph:80 ./internal/mutate:80; do
+            ./internal/knn:90 ./internal/graph:80 ./internal/mutate:80 \
+            ./internal/replica:80; do
     pkg=${spec%:*}
     floor=${spec#*:}
     pct=$(go test -count=1 -cover "$pkg" | awk '/coverage:/ {gsub(/%/,"",$5); print $5}')

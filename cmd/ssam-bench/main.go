@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, vaults, graph, mutate, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, vaults, graph, mutate, replicas, all)")
 	scale := flag.Float64("scale", 0.004, "dataset scale relative to the paper's sizes (0,1]")
 	queries := flag.Int("queries", 10, "queries per measurement point")
 	vlen := flag.Int("vlen", 8, "SSAM vector length (2, 4, 8, 16)")
@@ -50,8 +50,13 @@ func main() {
 			if t, err = bench.MutateSweep(o); err == nil {
 				err = bench.WriteMutateTrajectory(os.Stdout, t)
 			}
+		case "replicas":
+			var t bench.ReplicaTrajectory
+			if t, err = bench.ReplicaSweep(o); err == nil {
+				err = bench.WriteReplicaTrajectory(os.Stdout, t)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "ssam-bench: -format json is only supported for -exp vaults, -exp graph, and -exp mutate\n")
+			fmt.Fprintf(os.Stderr, "ssam-bench: -format json is only supported for -exp vaults, -exp graph, -exp mutate, and -exp replicas\n")
 			os.Exit(2)
 		}
 		if err != nil {
@@ -82,6 +87,7 @@ func main() {
 		"vaults":   func() (bench.Report, error) { return bench.VaultSweepReport(o) },
 		"graph":    func() (bench.Report, error) { return bench.GraphSweepReport(o) },
 		"mutate":   func() (bench.Report, error) { return bench.MutateSweepReport(o) },
+		"replicas": func() (bench.Report, error) { return bench.ReplicaSweepReport(o) },
 		"devbuild": func() (bench.Report, error) { return bench.DeviceAssistedBuildReport(o) },
 		"devindex": func() (bench.Report, error) { return bench.DeviceIndexSweepReport(o) },
 		"devlsh":   func() (bench.Report, error) { return bench.DeviceLSHSweepReport(o) },
@@ -90,7 +96,7 @@ func main() {
 	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig6", "fig7", "pqueue", "fixed", "tco", "build", "offload",
 		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster", "shards",
-		"vaults", "graph", "mutate"}
+		"vaults", "graph", "mutate", "replicas"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -8,6 +8,15 @@
 //	ssam-loadgen -setup -n 20000 -dims 100 -duration 10s -concurrency 32
 //	ssam-loadgen -loop open -rate 2000 -duration 30s -retries 0
 //	ssam-loadgen -loop open -rate 500 -upsert-frac 0.05 -delete-frac 0.05
+//	ssam-loadgen -replicas 3 -reload-at 3s -fail-on-degraded   # replica group under live reload
+//	ssam-loadgen -tenants 16 -zipf 1.3 -slo 20ms               # skewed multi-tenant fleet
+//
+// -tenants N switches to the multi-tenant scenario: N named regions
+// (<region>-0..N-1) driven by zipf-skewed traffic, reporting
+// per-tenant p50/p99 and SLO-violation counts. -reload-at issues a
+// live zero-downtime reload mid-run (replicated regions);
+// -fail-on-degraded turns any degraded/failed response into exit
+// code 2, which is what the CI replica smoke asserts on.
 //
 // With -retries 0, shed load (503) is reported as such instead of
 // being retried, making the server's admission control visible.
@@ -54,6 +63,8 @@ func main() {
 	shards := flag.Int("shards", 0, "partition the -setup region across N scatter-gather shards (0 = unsharded)")
 	allowPartial := flag.Bool("allow-partial", true, "sharded setup: serve degraded results when shards fail")
 	hedge := flag.Duration("hedge", 0, "sharded setup: hedge a shard unanswered after this delay (0 = off)")
+	replicas := flag.Int("replicas", 0, "replicate the -setup region across N p2c-routed copies (0 = unreplicated)")
+	replicaHedge := flag.Bool("replica-hedge", true, "replicated setup: hedge to a second replica after the p99-derived delay")
 	k := flag.Int("k", 6, "neighbors per query")
 	loop := flag.String("loop", "closed", "load model: closed (worker pool) or open (Poisson arrivals)")
 	concurrency := flag.Int("concurrency", 16, "closed-loop workers / open-loop in-flight cap")
@@ -65,6 +76,11 @@ func main() {
 	traceEvery := flag.Int("trace-every", 0, "force-trace every Nth query (X-SSAM-Trace) and report per-stage latency (0 = off)")
 	upsertFrac := flag.Float64("upsert-frac", 0, "fraction of operations issued as single-row upserts (0..1)")
 	deleteFrac := flag.Float64("delete-frac", 0, "fraction of operations issued as single-row deletes (0..1)")
+	reloadAt := flag.Duration("reload-at", 0, "issue a live POST .../reload this long into the run (0 = off; replicated regions only)")
+	failOnDegraded := flag.Bool("fail-on-degraded", false, "exit 2 if any degraded or failed responses (or a failed -reload-at) were observed")
+	tenants := flag.Int("tenants", 0, "multi-tenant mode: drive N named regions (<region>-0..N-1) with zipf-skewed traffic")
+	zipfS := flag.Float64("zipf", 1.2, "multi-tenant mode: zipf skew exponent s (> 1; higher = more skew)")
+	slo := flag.Duration("slo", 50*time.Millisecond, "multi-tenant mode: per-request latency SLO for the violation count")
 	flag.Parse()
 
 	if *upsertFrac < 0 || *deleteFrac < 0 || *upsertFrac+*deleteFrac > 1 {
@@ -86,16 +102,33 @@ func main() {
 	}
 	ds := dataset.Generate(spec)
 
-	if *setup {
-		var sharding *wire.ShardingConfig
-		if *shards > 0 {
-			sharding = &wire.ShardingConfig{
-				Shards:       *shards,
-				HedgeMs:      float64(*hedge) / float64(time.Millisecond),
-				AllowPartial: *allowPartial,
-			}
+	var sharding *wire.ShardingConfig
+	if *shards > 0 {
+		sharding = &wire.ShardingConfig{
+			Shards:       *shards,
+			HedgeMs:      float64(*hedge) / float64(time.Millisecond),
+			AllowPartial: *allowPartial,
 		}
-		if err := setupRegion(ctx, c, *region, ds, *mode, sharding); err != nil {
+	}
+	var repCfg *wire.ReplicasConfig
+	if *replicas > 0 {
+		repCfg = &wire.ReplicasConfig{Replicas: *replicas, Hedge: *replicaHedge}
+	}
+
+	if *tenants > 0 {
+		violations := multiTenant(ctx, c, tenantOptions{
+			base: *region, tenants: *tenants, zipfS: *zipfS, slo: *slo,
+			setup: *setup, mode: *mode, sharding: sharding, replicas: repCfg,
+			k: *k, workers: *concurrency, duration: *duration, seed: *seed,
+		}, ds)
+		if *failOnDegraded && violations {
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *setup {
+		if err := setupRegion(ctx, c, *region, ds, *mode, sharding, repCfg); err != nil {
 			log.Fatalf("setup: %v", err)
 		}
 	}
@@ -106,6 +139,25 @@ func main() {
 		for i := range mix.rows {
 			mix.rows[i] = ds.Row(i)
 		}
+	}
+
+	// A scheduled mid-run reload exercises the zero-downtime swap under
+	// exactly the traffic this loadgen is generating.
+	var reloadErr chan error
+	if *reloadAt > 0 {
+		reloadErr = make(chan error, 1)
+		go func() {
+			time.Sleep(*reloadAt)
+			start := time.Now()
+			rr, err := c.Reload(ctx, *region)
+			if err != nil {
+				log.Printf("reload: %v", err)
+			} else {
+				log.Printf("reload: gen %d live after %v (build %.1fms, drain %.1fms)",
+					rr.Gen, time.Since(start).Round(time.Millisecond), rr.BuildMs, rr.DrainMs)
+			}
+			reloadErr <- err
+		}()
 	}
 
 	log.Printf("%s-loop against %s/regions/%s: k=%d, %v", *loop, *addr, *region, *k, *duration)
@@ -119,6 +171,13 @@ func main() {
 		log.Fatalf("unknown -loop %q (want closed or open)", *loop)
 	}
 	res.report(os.Stdout)
+
+	reloadFailed := false
+	if reloadErr != nil {
+		if err := <-reloadErr; err != nil {
+			reloadFailed = true
+		}
+	}
 
 	if stats, err := c.Stats(ctx); err == nil {
 		if rs, ok := stats.Regions[*region]; ok && rs.Batches > 0 {
@@ -135,11 +194,25 @@ func main() {
 				fmt.Printf("WARNING: client saw seq %d but server reports %d\n", res.seqWater, m.Seq)
 			}
 		}
+		if rs, ok := stats.Regions[*region]; ok && rs.Replication != nil {
+			rep := rs.Replication
+			fmt.Printf("server replication: gen %d, %d swaps, hedge delay %.2fms\n",
+				rep.Gen, rep.Swaps, rep.HedgeDelayMs)
+			for _, r := range rep.Replicas {
+				fmt.Printf("  replica %d: %d queries, %d errors, %d hedges, %d failovers, ewma %.2fms\n",
+					r.Replica, r.Queries, r.Errors, r.Hedges, r.Failovers, r.EwmaLatencyMs)
+			}
+		}
+	}
+
+	if *failOnDegraded && (res.degraded > 0 || res.failed > 0 || reloadFailed) {
+		log.Printf("FAIL: degraded=%d failed=%d reload-failed=%v", res.degraded, res.failed, reloadFailed)
+		os.Exit(2)
 	}
 }
 
-func setupRegion(ctx context.Context, c *client.Client, name string, ds *dataset.Dataset, mode string, sharding *wire.ShardingConfig) error {
-	_, err := c.CreateRegion(ctx, name, ds.Dim(), wire.RegionConfig{Mode: mode, Sharding: sharding})
+func setupRegion(ctx context.Context, c *client.Client, name string, ds *dataset.Dataset, mode string, sharding *wire.ShardingConfig, replicas *wire.ReplicasConfig) error {
+	_, err := c.CreateRegion(ctx, name, ds.Dim(), wire.RegionConfig{Mode: mode, Sharding: sharding, Replicas: replicas})
 	var se *client.StatusError
 	if errors.As(err, &se) && se.Code == 409 {
 		log.Printf("region %q already exists; reloading", name)

@@ -1,0 +1,166 @@
+package main
+
+// Multi-tenant zipfian load: the serving fleet's real shape is many
+// named regions with heavily skewed popularity — a handful of hot
+// tenants and a long cold tail. This driver stands up N tenant
+// regions (<base>-0 .. <base>-N-1, each optionally sharded and/or
+// replicated), draws the tenant of every query from a Zipf
+// distribution, and reports per-tenant p50/p99 plus how many requests
+// missed the SLO — the number an operator actually pages on.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssam/internal/client"
+	"ssam/internal/dataset"
+	"ssam/internal/server/wire"
+)
+
+type tenantOptions struct {
+	base     string
+	tenants  int
+	zipfS    float64 // Zipf skew exponent (> 1)
+	slo      time.Duration
+	setup    bool
+	mode     string
+	sharding *wire.ShardingConfig
+	replicas *wire.ReplicasConfig
+	k        int
+	workers  int
+	duration time.Duration
+	seed     int64
+}
+
+// tenantStats accumulates one tenant's outcomes.
+type tenantStats struct {
+	ok, shed, failed, degraded atomic.Uint64
+
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+// multiTenant runs the zipfian multi-tenant scenario and reports per
+// tenant. Returns true when any degraded or failed responses were
+// observed (the -fail-on-degraded signal).
+func multiTenant(ctx context.Context, c *client.Client, opts tenantOptions, ds *dataset.Dataset) bool {
+	if opts.zipfS <= 1 {
+		log.Fatalf("-zipf must be > 1, got %v", opts.zipfS)
+	}
+	names := make([]string, opts.tenants)
+	for t := range names {
+		names[t] = fmt.Sprintf("%s-%d", opts.base, t)
+	}
+	if opts.setup {
+		for _, name := range names {
+			if err := setupRegion(ctx, c, name, ds, opts.mode, opts.sharding, opts.replicas); err != nil {
+				log.Fatalf("setup tenant %s: %v", name, err)
+			}
+		}
+	}
+
+	stats := make([]*tenantStats, opts.tenants)
+	for t := range stats {
+		stats[t] = &tenantStats{}
+	}
+
+	log.Printf("multi-tenant closed-loop: %d tenants, zipf s=%v, %d workers, slo %v, %v",
+		opts.tenants, opts.zipfS, opts.workers, opts.slo, opts.duration)
+	var attempted atomic.Uint64
+	deadline := time.Now().Add(opts.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns a Zipf sampler (rand.Zipf is not safe for
+			// concurrent use) over tenant ranks 0..N-1.
+			rng := rand.New(rand.NewSource(opts.seed + int64(w)))
+			zipf := rand.NewZipf(rng, opts.zipfS, 1, uint64(opts.tenants-1))
+			for i := w; time.Now().Before(deadline); i++ {
+				attempted.Add(1)
+				t := int(zipf.Uint64())
+				st := stats[t]
+				q := ds.Queries[i%len(ds.Queries)]
+				qStart := time.Now()
+				resp, err := c.SearchFull(ctx, names[t], q, opts.k)
+				lat := time.Since(qStart)
+				switch {
+				case err == nil:
+					st.ok.Add(1)
+					if resp.Degraded {
+						st.degraded.Add(1)
+					}
+					st.mu.Lock()
+					st.lats = append(st.lats, lat)
+					st.mu.Unlock()
+				default:
+					st.failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var totalOK, totalDegraded, totalFailed, totalViol uint64
+	fmt.Printf("multi-tenant run: %v elapsed, %d attempted, %.1f ok-queries/sec total\n",
+		elapsed.Round(time.Millisecond), attempted.Load(), okTotal(stats)/elapsed.Seconds())
+	fmt.Printf("%-14s %8s %8s %8s %10s %10s %8s\n",
+		"tenant", "ok", "failed", "degraded", "p50", "p99", ">slo")
+	for t, st := range stats {
+		st.mu.Lock()
+		lats := st.lats
+		st.mu.Unlock()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var p50, p99 time.Duration
+		var viol uint64
+		if len(lats) > 0 {
+			p50 = lats[len(lats)/2]
+			p99 = lats[min(len(lats)-1, len(lats)*99/100)]
+			for _, l := range lats {
+				if l > opts.slo {
+					viol++
+				}
+			}
+		}
+		totalOK += st.ok.Load()
+		totalDegraded += st.degraded.Load()
+		totalFailed += st.failed.Load()
+		totalViol += viol
+		fmt.Printf("%-14s %8d %8d %8d %10v %10v %8d\n",
+			names[t], st.ok.Load(), st.failed.Load(), st.degraded.Load(),
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond), viol)
+	}
+	fmt.Printf("total: ok %d, failed %d, degraded %d, slo violations %d (%.2f%% of ok)\n",
+		totalOK, totalFailed, totalDegraded, totalViol, pct(totalViol, totalOK))
+	if totalDegraded > 0 || totalFailed > 0 {
+		fmt.Fprintf(os.Stderr, "multi-tenant: observed %d degraded / %d failed responses\n",
+			totalDegraded, totalFailed)
+		return true
+	}
+	return false
+}
+
+func okTotal(stats []*tenantStats) float64 {
+	var n uint64
+	for _, st := range stats {
+		n += st.ok.Load()
+	}
+	return float64(n)
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -6,6 +6,8 @@
 //	ssam-serve -addr :8080 -max-inflight 256 -batch-window 2ms
 //	ssam-serve -preload glove:0.01            # serve a ready-built region
 //	ssam-serve -preload glove:0.01 -preload-shards 4 -preload-allow-partial
+//	ssam-serve -preload glove:0.01 -preload-replicas 3   # p2c-routed replica group
+//	ssam-serve -preload glove:0.001 -preload-replicas 3 -chaos-kill-replica 1 -chaos-after 2s
 //	ssam-serve -preload gist:0.01 -preload-mode graph -preload-ef 96
 //	ssam-serve -trace-sample 100 -pprof       # observe a running server
 //
@@ -56,6 +58,10 @@ func main() {
 	preloadDeadline := flag.Duration("preload-deadline", 0, "per-shard fan-out deadline for the preloaded region (0 = none)")
 	preloadHedge := flag.Duration("preload-hedge", 0, "hedge a shard that has not answered within this delay (0 = off)")
 	preloadAllowPartial := flag.Bool("preload-allow-partial", false, "serve degraded (partial) results when shards fail instead of erroring")
+	preloadReplicas := flag.Int("preload-replicas", 0, "serve the preloaded region from N interchangeable replicas with p2c routing (0 = unreplicated)")
+	preloadReplicaHedge := flag.Bool("preload-replica-hedge", true, "replicated regions: hedge to a second replica after the p99-derived delay")
+	chaosKillReplica := flag.Int("chaos-kill-replica", -1, "inject a fault into this replica slot of the preloaded region (requires -preload-replicas)")
+	chaosAfter := flag.Duration("chaos-after", 2*time.Second, "delay before the injected replica fault fires")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown drain budget")
 	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N search requests into /tracez (0 = only X-SSAM-Trace requests)")
 	traceRing := flag.Int("trace-ring", 128, "finished traces retained for /tracez")
@@ -82,9 +88,28 @@ func main() {
 				AllowPartial: *preloadAllowPartial,
 			}
 		}
+		var replicas *wire.ReplicasConfig
+		if *preloadReplicas > 0 {
+			replicas = &wire.ReplicasConfig{
+				Replicas: *preloadReplicas,
+				Hedge:    *preloadReplicaHedge,
+			}
+		}
 		index := wire.IndexParams{M: *preloadM, EfConstruction: *preloadEfc, EfSearch: *preloadEf}
-		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, index, sharding); err != nil {
+		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, index, sharding, replicas); err != nil {
 			log.Fatalf("preload %q: %v", *preload, err)
+		}
+		if *chaosKillReplica >= 0 {
+			region := regionName(*preload)
+			idx, after := *chaosKillReplica, *chaosAfter
+			go func() {
+				time.Sleep(after)
+				if err := srv.FailReplica(region, idx); err != nil {
+					log.Printf("chaos: %v", err)
+					return
+				}
+				log.Printf("chaos: killed replica %d of region %q", idx, region)
+			}()
 		}
 	}
 
@@ -138,10 +163,9 @@ func main() {
 // million rows, so this goes through an in-process request cycle only
 // for create, then loads and builds through the same handlers the
 // wire uses — keeping one code path).
-func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.IndexParams, sharding *wire.ShardingConfig) error {
-	name, scale := arg, 0.01
+func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.IndexParams, sharding *wire.ShardingConfig, replicas *wire.ReplicasConfig) error {
+	name, scale := regionName(arg), 0.01
 	if i := strings.IndexByte(arg, ':'); i >= 0 {
-		name = arg[:i]
 		s, err := strconv.ParseFloat(arg[i+1:], 64)
 		if err != nil {
 			return fmt.Errorf("bad scale: %v", err)
@@ -162,12 +186,15 @@ func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.
 	if _, err := ssam.ParseMode(mode); err != nil {
 		return err
 	}
+	layout := ""
 	if sharding != nil {
-		log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s, %d shards",
-			name, spec.N, spec.Dim, scale, mode, sharding.Shards)
-	} else {
-		log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s", name, spec.N, spec.Dim, scale, mode)
+		layout += fmt.Sprintf(", %d shards", sharding.Shards)
 	}
+	if replicas != nil {
+		layout += fmt.Sprintf(", %d replicas", replicas.Replicas)
+	}
+	log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s%s",
+		name, spec.N, spec.Dim, scale, mode, layout)
 	ds := dataset.Generate(spec)
 
 	rows := make([][]float32, ds.N())
@@ -175,7 +202,8 @@ func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.
 		rows[i] = ds.Row(i)
 	}
 	if err := roundTrip(srv, "POST", "/regions", wire.CreateRegionRequest{
-		Name: name, Dims: ds.Dim(), Config: wire.RegionConfig{Mode: mode, Vaults: vaults, Index: index, Sharding: sharding},
+		Name: name, Dims: ds.Dim(),
+		Config: wire.RegionConfig{Mode: mode, Vaults: vaults, Index: index, Sharding: sharding, Replicas: replicas},
 	}); err != nil {
 		return err
 	}
@@ -195,6 +223,14 @@ func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.
 	}
 	log.Printf("preloaded region %q ready", name)
 	return nil
+}
+
+// regionName strips the :scale suffix off a -preload argument.
+func regionName(arg string) string {
+	if i := strings.IndexByte(arg, ':'); i >= 0 {
+		return arg[:i]
+	}
+	return arg
 }
 
 // roundTrip drives the server's handler in-process with a synthetic

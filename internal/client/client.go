@@ -330,6 +330,16 @@ func (c *Client) Compact(ctx context.Context, name string) (wire.CompactResponse
 	return resp, err
 }
 
+// Reload rebuilds a replicated region from its staged dataset as a
+// new generation with zero downtime (build in background → warm →
+// atomic cutover → drain old). Not retried on shed load — a reload is
+// heavy and the caller should re-decide, not the transport.
+func (c *Client) Reload(ctx context.Context, name string) (wire.ReloadResponse, error) {
+	var resp wire.ReloadResponse
+	err := c.do(ctx, http.MethodPost, "/regions/"+name+"/reload", nil, &resp, false)
+	return resp, err
+}
+
 // Free releases the region (nfree).
 func (c *Client) Free(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/regions/"+name, nil, nil, false)

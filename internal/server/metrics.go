@@ -59,8 +59,46 @@ func (s *Server) registerRegionMetrics(e *regionEntry) {
 					depth += e.cluster.ShardStat(si).InFlight
 				}
 			}
+			if e.group != nil {
+				for ri := 0; ri < e.group.Replicas(); ri++ {
+					depth += e.group.Stat(ri).InFlight
+				}
+			}
 			return float64(depth)
 		})
+	if e.group != nil {
+		// Replicated regions: generation/swap gauges plus one series set
+		// per replica slot. The group pointer is fixed for the entry's
+		// lifetime and Stat reads atomics, so the callbacks skip e.mu;
+		// Unregister precedes Free, so no scrape outlives the group.
+		grp := e.group
+		s.registry.GaugeFunc("ssam_region_gen",
+			"Serving generation of the replica group (0 before first build).", lbl,
+			func() float64 { return float64(grp.Gen()) })
+		s.registry.CounterFunc("ssam_region_swaps_total",
+			"Generations installed (build + reloads), per region.", lbl,
+			func() uint64 { return grp.Stats().Swaps })
+		s.registry.GaugeFunc("ssam_region_hedge_delay_seconds",
+			"Current p99-derived replica hedge delay.", lbl,
+			func() float64 { return grp.HedgeDelay().Seconds() })
+		for ri := 0; ri < grp.Replicas(); ri++ {
+			ri := ri
+			rlbl := obs.Labels{"region": e.name, "replica": strconv.Itoa(ri)}
+			s.registry.GaugeFunc("ssam_replica_inflight", "Attempts currently executing per replica.", rlbl,
+				func() float64 { return float64(grp.Stat(ri).InFlight) })
+			s.registry.CounterFunc("ssam_replica_queries_total", "Attempts finished per replica (errors included).", rlbl,
+				func() uint64 { return grp.Stat(ri).Queries })
+			s.registry.CounterFunc("ssam_replica_errors_total", "Errored attempts per replica.", rlbl,
+				func() uint64 { return grp.Stat(ri).Errors })
+			s.registry.CounterFunc("ssam_replica_hedges_total", "Hedged attempts received per replica.", rlbl,
+				func() uint64 { return grp.Stat(ri).Hedges })
+			s.registry.CounterFunc("ssam_replica_failovers_total", "Failover attempts received per replica.", rlbl,
+				func() uint64 { return grp.Stat(ri).Failovers })
+			s.registry.GaugeFunc("ssam_replica_latency_ewma_seconds", "EWMA attempt latency per replica (the routing load score input).", rlbl,
+				func() float64 { return grp.Stat(ri).EwmaLatency.Seconds() })
+		}
+		return
+	}
 	if e.cluster == nil {
 		// Write-path series for mutable (unsharded) regions. The region
 		// pointer is fixed for the entry's lifetime and MutationStats is

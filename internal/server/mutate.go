@@ -19,11 +19,23 @@ import (
 	"ssam/internal/server/wire"
 )
 
-// mutableRegion snapshots the entry's region for the write path, or
-// writes the rejection: sharded regions are immutable over the wire
-// (409), and mutation before build is a sequencing error (409, same as
+// mutator is what the write path needs from a backend: both
+// *ssam.Region and *replica.Group satisfy it. A group fans each
+// mutation out to every replica in writer order (seq-identical by
+// construction); a group of sharded backends rejects writes with
+// ssam.ErrImmutableEngine exactly like a plain sharded region.
+type mutator interface {
+	Upsert(id int, v []float32) (uint64, error)
+	Delete(id int) (seq uint64, ok bool, err error)
+	CompactNow() (ssam.CompactResult, error)
+	Len() int
+}
+
+// mutableRegion snapshots the entry's write-path backend, or writes
+// the rejection: sharded regions are immutable over the wire (409),
+// and mutation before build is a sequencing error (409, same as
 // searching an unbuilt region).
-func (e *regionEntry) mutableRegion(w http.ResponseWriter) (*ssam.Region, bool) {
+func (e *regionEntry) mutableRegion(w http.ResponseWriter) (mutator, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cluster != nil {
@@ -34,6 +46,9 @@ func (e *regionEntry) mutableRegion(w http.ResponseWriter) (*ssam.Region, bool) 
 	if !e.built {
 		writeErr(w, http.StatusConflict, "region %q has no built index (POST .../build first)", e.name)
 		return nil, false
+	}
+	if e.group != nil {
+		return e.group, true
 	}
 	return e.region, true
 }

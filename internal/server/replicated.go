@@ -1,0 +1,254 @@
+package server
+
+// Replicated regions: the server-side face of internal/replica. A
+// region created with config.replicas owns a replica.Group whose
+// backends are built here — one ssam.Region per replica, or one
+// cluster.Cluster per replica when config.sharding is also set
+// (replication multiplies whole sharded copies). Loads only stage
+// data; build installs generation 1 and POST .../reload swaps in a
+// fresh generation from the staged dataset with zero downtime.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"ssam"
+	"ssam/internal/cluster"
+	"ssam/internal/obs"
+	"ssam/internal/replica"
+	"ssam/internal/server/wire"
+)
+
+// warmQueries bounds how many staged rows are replayed as warm-up
+// queries against each freshly built replica before it takes traffic.
+const warmQueries = 4
+
+// newGroupEntry attaches a replica.Group to a freshly created entry,
+// validating both the group options and the underlying backend
+// configuration (by probing an empty backend, so a bad metric/mode or
+// sharding combo fails at create time, not at first build).
+func (s *Server) newGroupEntry(e *regionEntry, req wire.CreateRegionRequest) error {
+	rc := req.Config.Replicas
+	opts := replica.Options{
+		Replicas: rc.Replicas,
+		Hedge:    rc.Hedge,
+		HedgeMin: time.Duration(rc.HedgeMinMs * float64(time.Millisecond)),
+		HedgeMax: time.Duration(rc.HedgeMaxMs * float64(time.Millisecond)),
+		Deadline: time.Duration(rc.DeadlineMs * float64(time.Millisecond)),
+	}
+	if sc := req.Config.Sharding; sc != nil {
+		shardOpts, err := toShardingOptions(sc)
+		if err != nil {
+			return err
+		}
+		probe, err := cluster.New(e.dims, e.cfg, shardOpts)
+		if err != nil {
+			return err
+		}
+		probe.Free()
+		e.shardOpts = shardOpts
+	} else {
+		probe, err := ssam.New(e.dims, e.cfg)
+		if err != nil {
+			return err
+		}
+		probe.Free()
+	}
+	group, err := replica.NewGroup(opts)
+	if err != nil {
+		return err
+	}
+	e.group = group
+	return nil
+}
+
+// buildReplicaBackend constructs one replica's backend from a
+// snapshot of the staged dataset: load, build index, wrap. data is
+// read-only here (several builds read it concurrently during a swap).
+func (s *Server) buildReplicaBackend(e *regionEntry, data []float32) (replica.Backend, error) {
+	if e.cfgWire.Sharding != nil {
+		c, err := cluster.New(e.dims, e.cfg, e.shardOpts)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.LoadFloat32(data); err != nil {
+			c.Free()
+			return nil, err
+		}
+		if err := c.BuildIndex(); err != nil {
+			c.Free()
+			return nil, err
+		}
+		return replica.WrapCluster(c), nil
+	}
+	r, err := ssam.New(e.dims, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.LoadFloat32(data); err != nil {
+		r.Free()
+		return nil, err
+	}
+	if err := r.BuildIndex(); err != nil {
+		r.Free()
+		return nil, err
+	}
+	return replica.WrapRegion(r), nil
+}
+
+// swapGroup runs one generational swap from the entry's staged
+// dataset. The data snapshot is copied under e.mu (handleLoad reuses
+// the staging slice's backing array, so the swap must not share it),
+// but the swap itself — backend builds, warming, cutover, drain —
+// runs outside e.mu so /statsz, searches, and metric scrapes keep
+// flowing while the new generation is under construction.
+func (s *Server) swapGroup(e *regionEntry) (replica.SwapStats, error) {
+	e.mu.Lock()
+	data := append([]float32(nil), e.data...)
+	e.mu.Unlock()
+
+	// Warm each new replica with a few staged rows as queries.
+	var warm [][]float32
+	rows := len(data) / e.dims
+	for i := 0; i < rows && i < warmQueries; i++ {
+		warm = append(warm, data[i*e.dims:(i+1)*e.dims])
+	}
+
+	st, err := e.group.Swap(func(int) (replica.Backend, error) {
+		return s.buildReplicaBackend(e, data)
+	}, warm, 1)
+	if err != nil {
+		return replica.SwapStats{}, err
+	}
+	e.mu.Lock()
+	e.built = true
+	e.mu.Unlock()
+	return st, nil
+}
+
+// buildGroupGeneration is the replicated half of handleBuild: the
+// first swap, installing generation 1 from the staged dataset.
+func (s *Server) buildGroupGeneration(w http.ResponseWriter, e *regionEntry) {
+	if _, err := s.swapGroup(e); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	e.mu.Lock()
+	info := e.info()
+	e.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleReload is POST /regions/{name}/reload: rebuild a replicated
+// region from its staged dataset as a new generation, cut traffic
+// over atomically, and free the old generation after its in-flight
+// queries drain. Queries keep being answered throughout — by the old
+// generation during build, by the new one after cutover — so a reload
+// under load drops nothing. Mutations applied since the last load are
+// not in the staged dataset and do not survive a reload (the staged
+// rows are the source of truth the new generation is built from).
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	if e.group == nil {
+		writeErr(w, http.StatusConflict,
+			"region %q is not replicated (create with config.replicas to enable reload)", e.name)
+		return
+	}
+	e.mu.Lock()
+	built := e.built
+	e.mu.Unlock()
+	if !built {
+		writeErr(w, http.StatusConflict, "region %q has no built index (POST .../build first)", e.name)
+		return
+	}
+	forced := r.Header.Get(TraceHeader) != ""
+	tr := s.tracer.Trace("reload", forced, obs.Tag{Key: "region", Value: e.name})
+	root := tr.Root()
+	rsp := root.Start("swap")
+	st, err := s.swapGroup(e)
+	rsp.SetTag("gen", st.Gen)
+	rsp.End()
+	s.tracer.Finish(tr)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ReloadResponse{
+		Gen:      st.Gen,
+		Replicas: st.Replicas,
+		Len:      e.group.Len(),
+		BuildMs:  float64(st.Build) / float64(time.Millisecond),
+		DrainMs:  float64(st.Drain) / float64(time.Millisecond),
+	})
+}
+
+// FailReplica injects a fault into one replica slot of a replicated
+// region: every attempt routed to that slot fails until healed with
+// HealReplicas. It is the chaos seam the soak tests and the CI smoke
+// use to kill a replica under live traffic.
+func (s *Server) FailReplica(region string, replicaIdx int) error {
+	g, err := s.regionGroup(region)
+	if err != nil {
+		return err
+	}
+	if replicaIdx < 0 || replicaIdx >= g.Replicas() {
+		return fmt.Errorf("server: region %q has no replica %d", region, replicaIdx)
+	}
+	g.SetFaultHook(func(rep, _ int) error {
+		if rep == replicaIdx {
+			return fmt.Errorf("injected fault: replica %d down", replicaIdx)
+		}
+		return nil
+	})
+	return nil
+}
+
+// HealReplicas removes any injected replica fault from the region.
+func (s *Server) HealReplicas(region string) error {
+	g, err := s.regionGroup(region)
+	if err != nil {
+		return err
+	}
+	g.SetFaultHook(nil)
+	return nil
+}
+
+func (s *Server) regionGroup(region string) (*replica.Group, error) {
+	s.mu.RLock()
+	e := s.regions[region]
+	s.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("server: no region %q", region)
+	}
+	if e.group == nil {
+		return nil, fmt.Errorf("server: region %q is not replicated", region)
+	}
+	return e.group, nil
+}
+
+// toWireReplication converts a group's stats to the wire block
+// attached to /statsz region blocks.
+func toWireReplication(gst replica.GroupStats) *wire.ReplicationStats {
+	out := &wire.ReplicationStats{
+		Gen:          gst.Gen,
+		Swaps:        gst.Swaps,
+		HedgeDelayMs: float64(gst.HedgeDelay) / float64(time.Millisecond),
+		Replicas:     make([]wire.ReplicaStats, len(gst.Replicas)),
+	}
+	for i, r := range gst.Replicas {
+		out.Replicas[i] = wire.ReplicaStats{
+			Replica:       r.Replica,
+			InFlight:      r.InFlight,
+			Queries:       r.Queries,
+			Errors:        r.Errors,
+			Hedges:        r.Hedges,
+			Failovers:     r.Failovers,
+			EwmaLatencyMs: float64(r.EwmaLatency) / float64(time.Millisecond),
+		}
+	}
+	return out
+}

@@ -14,6 +14,14 @@
 // micro-batcher (the fan-out itself is the parallelism) and report
 // per-shard depth and latency in /statsz.
 //
+// A region created with config.replicas is the replicated kind: N
+// interchangeable copies of the backend (each its own region, or its
+// own cluster when config.sharding is also set) behind an
+// internal/replica.Group — power-of-two-choices load-aware routing,
+// hedged reads across replicas, transparent failover, seq-ordered
+// write fan-out, and POST .../reload for zero-downtime generational
+// rebuilds (see replicated.go).
+//
 // The endpoint set is the paper's Fig. 4 driver interface lifted onto
 // HTTP verbs:
 //
@@ -25,6 +33,7 @@
 //	POST   /regions/{name}/upsert    insert/replace rows by id (Linear regions)
 //	POST   /regions/{name}/delete    tombstone rows by id
 //	POST   /regions/{name}/compact   one synchronous compaction pass
+//	POST   /regions/{name}/reload    zero-downtime generational rebuild (replicated regions)
 //	GET    /regions[/{name}]         registry inspection
 //	DELETE /regions/{name}           nfree
 //	GET    /statsz                   per-region QPS, batch sizes, queue depth, p50/p99
@@ -55,6 +64,7 @@ import (
 	"ssam"
 	"ssam/internal/cluster"
 	"ssam/internal/obs"
+	"ssam/internal/replica"
 	"ssam/internal/server/batcher"
 	"ssam/internal/server/wire"
 )
@@ -122,9 +132,12 @@ type Server struct {
 }
 
 // regionEntry is one named region plus its serving attachments.
-// Exactly one of region and cluster is non-nil: cluster entries are
-// the sharded kind (config.sharding at create time) and scatter-gather
-// each query themselves instead of riding the micro-batcher.
+// Exactly one of region, cluster, and group is non-nil: cluster
+// entries are the sharded kind (config.sharding at create time) and
+// scatter-gather each query themselves instead of riding the
+// micro-batcher; group entries are the replicated kind
+// (config.replicas) and route each query to one of N interchangeable
+// backend copies (see replicated.go).
 type regionEntry struct {
 	name    string
 	dims    int
@@ -132,10 +145,15 @@ type regionEntry struct {
 	cfgWire wire.RegionConfig
 	stats   *regionStats
 
+	// shardOpts backs per-replica cluster construction when the region
+	// is both replicated and sharded (fixed at create time).
+	shardOpts cluster.Options
+
 	mu      sync.Mutex // guards mutation (load/build/free) and the fields below
 	region  *ssam.Region
 	cluster *cluster.Cluster
-	data    []float32 // accumulated rows, so Append loads can restage
+	group   *replica.Group // fixed at create time (generations swap inside it)
+	data    []float32      // accumulated rows, so Append loads can restage
 	built   bool
 	batcher *batcher.Batcher // non-nil once built (unsharded regions only)
 }
@@ -164,6 +182,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /regions/{name}/upsert", s.handleUpsert)
 	s.mux.HandleFunc("POST /regions/{name}/delete", s.handleDelete)
 	s.mux.HandleFunc("POST /regions/{name}/compact", s.handleCompact)
+	s.mux.HandleFunc("POST /regions/{name}/reload", s.handleReload)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
@@ -208,6 +227,9 @@ func (s *Server) Close() {
 		}
 		if e.cluster != nil {
 			e.cluster.Free()
+		}
+		if e.group != nil {
+			e.group.Free()
 		}
 		e.mu.Unlock()
 	}
@@ -344,8 +366,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	e := &regionEntry{
 		name: req.Name, dims: req.Dims, cfg: cfg, cfgWire: req.Config,
 	}
-	if sc := req.Config.Sharding; sc != nil {
-		opts, err := toShardingOptions(sc)
+	switch {
+	case req.Config.Replicas != nil:
+		if err := s.newGroupEntry(e, req); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case req.Config.Sharding != nil:
+		opts, err := toShardingOptions(req.Config.Sharding)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
@@ -354,7 +382,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-	} else {
+	default:
 		if e.region, err = ssam.New(req.Dims, cfg); err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
@@ -386,16 +414,27 @@ func (e *regionEntry) free() {
 	if e.cluster != nil {
 		e.cluster.Free()
 	}
+	if e.group != nil {
+		e.group.Free()
+	}
 }
 
 func (e *regionEntry) info() wire.RegionInfo {
 	info := wire.RegionInfo{
 		Name: e.name, Dims: e.dims, Built: e.built, Config: e.cfgWire,
 	}
-	if e.cluster != nil {
+	switch {
+	case e.group != nil:
+		info.Len = e.group.Len()
+		info.Replicas = e.group.Replicas()
+		info.Gen = e.group.Gen()
+		if sc := e.cfgWire.Sharding; sc != nil {
+			info.Shards = sc.Shards
+		}
+	case e.cluster != nil:
 		info.Len = e.cluster.Len()
 		info.Shards = e.cluster.Shards()
-	} else {
+	default:
 		info.Len = e.region.Len()
 	}
 	return info
@@ -456,6 +495,13 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	for _, v := range req.Vectors {
 		e.data = append(e.data, v...)
 	}
+	if e.group != nil {
+		// Replicated regions only stage: the serving generation keeps
+		// answering from the old dataset until build (first time) or
+		// reload cuts over — that is the zero-downtime contract.
+		writeJSON(w, http.StatusOK, e.info())
+		return
+	}
 	if e.cluster != nil {
 		err = e.cluster.LoadFloat32(e.data)
 	} else {
@@ -478,6 +524,14 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	e := s.entry(w, r)
 	if e == nil {
+		return
+	}
+	if e.group != nil {
+		// First build of a replicated region: install generation 1 from
+		// the staged dataset (later rebuilds go through .../reload).
+		// The group pointer is fixed at create time, so reading it
+		// without e.mu is safe.
+		s.buildGroupGeneration(w, e)
 		return
 	}
 	e.mu.Lock()
@@ -543,15 +597,16 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 
 // searchable snapshots the entry's serving state; it reports an error
 // response when the region has no built index yet. Sharded entries
-// return a cluster and a nil batcher/region.
-func (e *regionEntry) searchable(w http.ResponseWriter) (*batcher.Batcher, *cluster.Cluster, *ssam.Region, bool) {
+// return a cluster, replicated entries a group, each with the other
+// kinds nil.
+func (e *regionEntry) searchable(w http.ResponseWriter) (*batcher.Batcher, *cluster.Cluster, *replica.Group, *ssam.Region, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.built || (e.cluster == nil && e.batcher == nil) {
+	if !e.built || (e.cluster == nil && e.group == nil && e.batcher == nil) {
 		writeErr(w, http.StatusConflict, "region %q has no built index (POST .../build first)", e.name)
-		return nil, nil, nil, false
+		return nil, nil, nil, nil, false
 	}
-	return e.batcher, e.cluster, e.region, true
+	return e.batcher, e.cluster, e.group, e.region, true
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -586,9 +641,42 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	b, cl, _, ok := e.searchable(w)
+	b, cl, grp, _, ok := e.searchable(w)
 	if !ok {
 		s.tracer.Finish(tr)
+		return
+	}
+	if grp != nil {
+		// Replicated queries bypass the micro-batcher too: the group
+		// routes each query to one replica (hedging to a second), so
+		// the "batch" stage is a size-1 bypass holding the route spans.
+		bsp := root.Start("batch",
+			obs.Tag{Key: "bypass", Value: true}, obs.Tag{Key: "size", Value: 1})
+		resp, err := grp.Search(req.Query, req.K, bsp)
+		bsp.End()
+		if err != nil {
+			s.tracer.Finish(tr)
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if resp.Degraded {
+			e.stats.recordDegraded()
+		}
+		e.stats.recordQueries(1, time.Since(start))
+		rep := resp.Replica
+		out := wire.SearchResponse{
+			Results:      toNeighbors(resp.Results),
+			Degraded:     resp.Degraded,
+			FailedShards: resp.FailedShards,
+			Hedges:       resp.Hedges + resp.ShardHedges,
+			Replica:      &rep,
+			Gen:          resp.Gen,
+			Failovers:    resp.Failovers,
+		}
+		if td := s.tracer.Finish(tr); forced {
+			out.Trace = td
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	if cl != nil {
@@ -667,7 +755,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	_, cl, region, ok := e.searchable(w)
+	_, cl, grp, region, ok := e.searchable(w)
 	if !ok {
 		s.tracer.Finish(tr)
 		return
@@ -675,7 +763,23 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	resp := wire.SearchBatchResponse{}
 	var batch [][]ssam.Result
 	bsp := root.Start("batch", obs.Tag{Key: "size", Value: len(req.Queries)})
-	if cl != nil {
+	switch {
+	case grp != nil:
+		var gr replica.BatchResponse
+		if gr, err = grp.SearchBatch(req.Queries, req.K, bsp); err == nil {
+			batch = gr.Results
+			resp.Degraded = gr.Degraded
+			resp.FailedShards = gr.FailedShards
+			resp.Hedges = gr.Hedges + gr.ShardHedges
+			rep := gr.Replica
+			resp.Replica = &rep
+			resp.Gen = gr.Gen
+			resp.Failovers = gr.Failovers
+			if gr.Degraded {
+				e.stats.recordDegraded()
+			}
+		}
+	case cl != nil:
 		var br cluster.BatchResponse
 		if br, err = cl.SearchBatchTraced(req.Queries, req.K, bsp); err == nil {
 			batch = br.Results
@@ -686,7 +790,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 				e.stats.recordDegraded()
 			}
 		}
-	} else {
+	default:
 		batch, err = region.SearchBatchSpan(req.Queries, req.K, bsp)
 	}
 	bsp.End()
@@ -726,6 +830,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	for name, e := range entries {
 		depth := 0
 		var shardStats []wire.ShardStats
+		var repStats *wire.ReplicationStats
 		e.mu.Lock()
 		region := e.region
 		if e.batcher != nil {
@@ -747,8 +852,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 		e.mu.Unlock()
+		if e.group != nil {
+			gst := e.group.Stats()
+			repStats = toWireReplication(gst)
+			for _, r := range gst.Replicas {
+				depth += r.InFlight
+			}
+		}
 		rs := e.stats.snapshot(depth)
 		rs.Shards = shardStats
+		rs.Replication = repStats
 		if region != nil {
 			if mst, ok := region.MutationStats(); ok {
 				rs.Mutation = toWireMutation(mst)

@@ -70,6 +70,23 @@ func DecodeCreateRegion(data []byte) (CreateRegionRequest, error) {
 			return CreateRegionRequest{}, errors.New("wire: sharding.hedge_ms must be finite and non-negative")
 		}
 	}
+	if rc := req.Config.Replicas; rc != nil {
+		if rc.Replicas <= 0 {
+			return CreateRegionRequest{}, fmt.Errorf("wire: replicas.replicas must be positive, got %d", rc.Replicas)
+		}
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"replicas.hedge_min_ms", rc.HedgeMinMs},
+			{"replicas.hedge_max_ms", rc.HedgeMaxMs},
+			{"replicas.deadline_ms", rc.DeadlineMs},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				return CreateRegionRequest{}, fmt.Errorf("wire: %s must be finite and non-negative", f.name)
+			}
+		}
+	}
 	return req, nil
 }
 

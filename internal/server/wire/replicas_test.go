@@ -1,0 +1,123 @@
+package wire
+
+// Strict-decode tests for the replicas config block and the
+// replication response fields added with replicated serving.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCreateRegionReplicasDecode pins the replicas block's contract:
+// a well-formed config round-trips, malformed replica counts and
+// hedge bands are rejected with a field-naming error, and unknown
+// fields inside the block fail the strict decoder.
+func TestCreateRegionReplicasDecode(t *testing.T) {
+	ok := `{"name":"r","dims":8,"config":{"replicas":{"replicas":3,"hedge":true,"hedge_min_ms":0.5,"hedge_max_ms":25,"deadline_ms":100}}}`
+	req, err := DecodeCreateRegion([]byte(ok))
+	if err != nil {
+		t.Fatalf("valid replicas config rejected: %v", err)
+	}
+	rc := req.Config.Replicas
+	if rc == nil || rc.Replicas != 3 || !rc.Hedge ||
+		rc.HedgeMinMs != 0.5 || rc.HedgeMaxMs != 25 || rc.DeadlineMs != 100 {
+		t.Fatalf("decoded replicas config %+v", rc)
+	}
+	// And it survives a marshal round trip.
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DecodeCreateRegion(body)
+	if err != nil || again.Config.Replicas == nil || *again.Config.Replicas != *rc {
+		t.Fatalf("re-decode: %+v, %v", again.Config.Replicas, err)
+	}
+
+	// Replication combines with sharding in one config.
+	combo := `{"name":"r","dims":8,"config":{"sharding":{"shards":2},"replicas":{"replicas":2}}}`
+	req, err = DecodeCreateRegion([]byte(combo))
+	if err != nil {
+		t.Fatalf("sharded+replicated config rejected: %v", err)
+	}
+	if req.Config.Sharding.Shards != 2 || req.Config.Replicas.Replicas != 2 {
+		t.Fatalf("combo decoded as %+v", req.Config)
+	}
+
+	bad := []struct {
+		body, wantErr string
+	}{
+		{`{"name":"r","dims":8,"config":{"replicas":{"replicas":0}}}`, "must be positive"},
+		{`{"name":"r","dims":8,"config":{"replicas":{"replicas":-3}}}`, "must be positive"},
+		{`{"name":"r","dims":8,"config":{"replicas":{"hedge":true}}}`, "must be positive"}, // count omitted = 0
+		{`{"name":"r","dims":8,"config":{"replicas":{"replicas":2,"hedge_min_ms":-1}}}`, "hedge_min_ms"},
+		{`{"name":"r","dims":8,"config":{"replicas":{"replicas":2,"hedge_max_ms":-0.5}}}`, "hedge_max_ms"},
+		{`{"name":"r","dims":8,"config":{"replicas":{"replicas":2,"deadline_ms":-100}}}`, "deadline_ms"},
+		{`{"name":"r","dims":8,"config":{"replicas":{"replicas":2,"hegde":true}}}`, "unknown field"}, // typo'd knob
+		{`{"name":"r","dims":8,"config":{"replicas":2}}`, "cannot unmarshal"},                        // block, not a bare count
+	}
+	for _, c := range bad {
+		_, err := DecodeCreateRegion([]byte(c.body))
+		if err == nil {
+			t.Errorf("decoder accepted %s", c.body)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("decode %s: error %q does not mention %q", c.body, err, c.wantErr)
+		}
+	}
+}
+
+// TestReplicationResponseFields pins the wire shape of the replicated
+// serving additions: zero-valued replica fields stay off existing
+// responses (old clients see unchanged bodies), and the reload and
+// replication-stats payloads expose the documented keys.
+func TestReplicationResponseFields(t *testing.T) {
+	// An unreplicated search response must not grow new keys.
+	plain, err := json.Marshal(SearchResponse{Results: []Neighbor{{ID: 1, Distance: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"replica", "gen", "failovers"} {
+		if strings.Contains(string(plain), `"`+key+`"`) {
+			t.Errorf("unreplicated search response leaked %q: %s", key, plain)
+		}
+	}
+
+	// A replicated one carries attribution, including replica 0.
+	zero := 0
+	attributed, err := json.Marshal(SearchResponse{
+		Results: []Neighbor{{ID: 1}}, Replica: &zero, Gen: 3, Failovers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"replica":0`, `"gen":3`, `"failovers":1`} {
+		if !strings.Contains(string(attributed), want) {
+			t.Errorf("replicated search response missing %s: %s", want, attributed)
+		}
+	}
+
+	reload, err := json.Marshal(ReloadResponse{Gen: 2, Replicas: 3, Len: 100, BuildMs: 1.5, DrainMs: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"gen":2`, `"replicas":3`, `"len":100`, `"build_ms":1.5`, `"drain_ms":0.25`} {
+		if !strings.Contains(string(reload), want) {
+			t.Errorf("reload response missing %s: %s", want, reload)
+		}
+	}
+
+	stats, err := json.Marshal(ReplicationStats{
+		Gen: 2, Swaps: 2, HedgeDelayMs: 4.5,
+		Replicas: []ReplicaStats{{Replica: 1, Queries: 7, Hedges: 2, Failovers: 1, EwmaLatencyMs: 0.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"gen":2`, `"swaps":2`, `"hedge_delay_ms":4.5`, `"replica":1`, `"queries":7`, `"hedges":2`, `"failovers":1`} {
+		if !strings.Contains(string(stats), want) {
+			t.Errorf("replication stats missing %s: %s", want, stats)
+		}
+	}
+}

@@ -25,6 +25,29 @@ type RegionConfig struct {
 	// cluster of independent shard regions (internal/cluster), each
 	// with its own simulated device module.
 	Sharding *ShardingConfig `json:"sharding,omitempty"`
+	// Replicas, when present, makes the region a replica group
+	// (internal/replica): N interchangeable copies of the backend
+	// (each its own region, or its own cluster when Sharding is also
+	// set) behind power-of-two-choices routing with hedged reads,
+	// transparent failover, and zero-downtime generational reload.
+	Replicas *ReplicasConfig `json:"replicas,omitempty"`
+}
+
+// ReplicasConfig configures a replicated region at create time.
+type ReplicasConfig struct {
+	// Replicas is the number of interchangeable dataset copies. Must
+	// be positive.
+	Replicas int `json:"replicas"`
+	// Hedge enables a second attempt on a different replica once the
+	// routed one has been silent for the p99-derived hedge delay.
+	Hedge bool `json:"hedge,omitempty"`
+	// HedgeMinMs and HedgeMaxMs clamp the adaptive hedge delay
+	// (defaults 1ms and 100ms).
+	HedgeMinMs float64 `json:"hedge_min_ms,omitempty"`
+	HedgeMaxMs float64 `json:"hedge_max_ms,omitempty"`
+	// DeadlineMs bounds one query across all its replica attempts; 0
+	// disables the deadline.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
 // ShardingConfig configures a sharded region at create time.
@@ -80,12 +103,14 @@ type LoadRequest struct {
 
 // RegionInfo describes one region in list/get responses.
 type RegionInfo struct {
-	Name   string       `json:"name"`
-	Dims   int          `json:"dims"`
-	Len    int          `json:"len"`
-	Built  bool         `json:"built"`
-	Shards int          `json:"shards,omitempty"` // 0 for unsharded regions
-	Config RegionConfig `json:"config"`
+	Name     string       `json:"name"`
+	Dims     int          `json:"dims"`
+	Len      int          `json:"len"`
+	Built    bool         `json:"built"`
+	Shards   int          `json:"shards,omitempty"`   // 0 for unsharded regions
+	Replicas int          `json:"replicas,omitempty"` // 0 for unreplicated regions
+	Gen      uint64       `json:"gen,omitempty"`      // serving generation (replicated regions)
+	Config   RegionConfig `json:"config"`
 }
 
 // SearchRequest is one query (nwrite_query + nexec); it rides the
@@ -108,8 +133,16 @@ type SearchResponse struct {
 	// Degraded reports that FailedShards were excluded from the merge.
 	Degraded     bool  `json:"degraded,omitempty"`
 	FailedShards []int `json:"failed_shards,omitempty"`
-	// Hedges counts hedged shard re-issues this query triggered.
+	// Hedges counts hedged re-issues this query triggered — shard
+	// hedges inside the serving backend plus replica-level hedges for
+	// replicated regions.
 	Hedges int `json:"hedges,omitempty"`
+	// Replica is the replica slot that answered (replicated regions
+	// only); Gen the generation it served from; Failovers the replica
+	// attempts re-issued after errors.
+	Replica   *int   `json:"replica,omitempty"`
+	Gen       uint64 `json:"gen,omitempty"`
+	Failovers int    `json:"failovers,omitempty"`
 	// Trace is the request's sampled span tree, present only when the
 	// request carried the X-SSAM-Trace header.
 	Trace *obs.TraceData `json:"trace,omitempty"`
@@ -130,6 +163,11 @@ type SearchBatchResponse struct {
 	Degraded     bool         `json:"degraded,omitempty"`
 	FailedShards []int        `json:"failed_shards,omitempty"`
 	Hedges       int          `json:"hedges,omitempty"`
+	// Replica/Gen/Failovers mirror SearchResponse for replicated
+	// regions (the whole batch is routed to one replica).
+	Replica   *int   `json:"replica,omitempty"`
+	Gen       uint64 `json:"gen,omitempty"`
+	Failovers int    `json:"failovers,omitempty"`
 	// Trace is the request's sampled span tree, present only when the
 	// request carried the X-SSAM-Trace header.
 	Trace *obs.TraceData `json:"trace,omitempty"`
@@ -174,6 +212,21 @@ type CompactResponse struct {
 	Len             int    `json:"len"`
 }
 
+// ReloadResponse answers POST /regions/{name}/reload: a zero-downtime
+// generational rebuild of a replicated region from its staged dataset.
+type ReloadResponse struct {
+	// Gen is the generation now serving; Replicas its copy count.
+	Gen      uint64 `json:"gen"`
+	Replicas int    `json:"replicas"`
+	// Len is the row count of the new generation.
+	Len int `json:"len"`
+	// BuildMs is how long building and warming the new generation took
+	// (the old one served throughout); DrainMs how long the old
+	// generation's in-flight queries took to finish after cutover.
+	BuildMs float64 `json:"build_ms"`
+	DrainMs float64 `json:"drain_ms"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -204,6 +257,31 @@ type RegionStats struct {
 	// Mutation holds write-path counters, present only once the region
 	// has taken at least one upsert or delete.
 	Mutation *MutationStats `json:"mutation,omitempty"`
+	// Replication holds per-replica routing stats for replicated
+	// regions.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// ReplicationStats is the replica-group block of a region's stats.
+type ReplicationStats struct {
+	Gen   uint64 `json:"gen"`   // serving generation (0 before first build)
+	Swaps uint64 `json:"swaps"` // generations installed over the region's lifetime
+	// HedgeDelayMs is the current p99-derived replica hedge delay.
+	HedgeDelayMs float64        `json:"hedge_delay_ms"`
+	Replicas     []ReplicaStats `json:"replicas"`
+}
+
+// ReplicaStats is one replica slot's block of a replicated region's
+// stats.
+type ReplicaStats struct {
+	Replica   int    `json:"replica"`
+	InFlight  int    `json:"in_flight"`
+	Queries   uint64 `json:"queries"` // attempts finished (errors included)
+	Errors    uint64 `json:"errors"`
+	Hedges    uint64 `json:"hedges"`    // hedge attempts received
+	Failovers uint64 `json:"failovers"` // failover attempts received
+	// EwmaLatencyMs is the slot's load-score latency estimate.
+	EwmaLatencyMs float64 `json:"ewma_latency_ms"`
 }
 
 // MutationStats is the write-path block of a region's stats.
