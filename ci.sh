@@ -38,6 +38,35 @@ go run ./cmd/ssam-bench -exp mutate -format json -scale 0.001 -queries 2 > /dev/
 # BENCH_08_replicas.json must keep running end to end.
 go run ./cmd/ssam-bench -exp replicas -format json -scale 0.001 -queries 2 > /dev/null
 
+# Quantized-sweep smoke: the recall/QPS generator behind
+# BENCH_09_pq.json must keep running end to end (reranks above the
+# tiny row count are skipped by the sweep itself).
+go run ./cmd/ssam-bench -exp pq -format json -scale 0.001 -queries 2 > /dev/null
+
+# ADC regression check: the quantized scan must stay meaningfully
+# faster than the float32 scan on the identical benchmark shape
+# (4096 x 64, k=10). Measured headroom is ~3.5x on the growth box; the
+# 1.5x floor only trips if the blocked ADC kernel genuinely rots.
+pq_bench=$(go test -run=NONE -bench='BenchmarkRegionSearchHost$|BenchmarkSearchPQ$' -benchtime=20x .)
+pq_ratio=$(echo "$pq_bench" | awk '
+    /BenchmarkRegionSearchHost/ { host = $3 }
+    /BenchmarkSearchPQ/         { pq = $3 }
+    END {
+        if (host == "" || pq == "") { print "missing"; exit }
+        printf "%.2f", host / pq
+    }')
+if [ "$pq_ratio" = "missing" ]; then
+    echo "ci.sh: PQ regression check could not parse benchmark output:" >&2
+    echo "$pq_bench" >&2
+    exit 1
+fi
+if awk -v r="$pq_ratio" 'BEGIN { exit !(r < 1.5) }'; then
+    echo "ci.sh: quantized scan only ${pq_ratio}x the float32 scan, below the 1.5x floor" >&2
+    echo "$pq_bench" >&2
+    exit 1
+fi
+echo "quantized scan speedup vs float32 scan: ${pq_ratio}x (floor 1.5x)"
+
 # Write-mix smoke: stand a server up, drive a brief mixed read/write
 # load through ssam-loadgen (upserts and deletes against a live linear
 # region), and tear it down — the whole wire write path in one shot.
@@ -101,7 +130,7 @@ go test -run='^Fuzz' -count=1 ./internal/server/wire
 # kernels (knn) hold a higher bar than the rest.
 for spec in ./internal/server:80 ./internal/cluster:80 ./internal/obs:80 \
             ./internal/knn:90 ./internal/graph:80 ./internal/mutate:80 \
-            ./internal/replica:80; do
+            ./internal/replica:80 ./internal/pq:85; do
     pkg=${spec%:*}
     floor=${spec#*:}
     pct=$(go test -count=1 -cover "$pkg" | awk '/coverage:/ {gsub(/%/,"",$5); print $5}')

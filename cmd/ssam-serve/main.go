@@ -9,6 +9,7 @@
 //	ssam-serve -preload glove:0.01 -preload-replicas 3   # p2c-routed replica group
 //	ssam-serve -preload glove:0.001 -preload-replicas 3 -chaos-kill-replica 1 -chaos-after 2s
 //	ssam-serve -preload gist:0.01 -preload-mode graph -preload-ef 96
+//	ssam-serve -preload gist:0.01 -preload-mode quantized -preload-rerank 100
 //	ssam-serve -trace-sample 100 -pprof       # observe a running server
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the server first sheds new
@@ -53,6 +54,8 @@ func main() {
 	preloadM := flag.Int("preload-m", 0, "graph mode: per-layer degree bound M (0 = default 16)")
 	preloadEfc := flag.Int("preload-efc", 0, "graph mode: efConstruction build beam (0 = default 100)")
 	preloadEf := flag.Int("preload-ef", 0, "graph mode: efSearch query beam (0 = default 64)")
+	preloadSample := flag.Int("preload-sample", 0, "quantized mode: codebook training sample size (0 = default 8192)")
+	preloadRerank := flag.Int("preload-rerank", 0, "quantized mode: exact re-rank depth over the ADC top candidates (0 = ADC only)")
 	preloadShards := flag.Int("preload-shards", 0, "partition the preloaded region across N scatter-gather shards (0 = unsharded)")
 	preloadPartition := flag.String("preload-partition", "", "shard partitioner: roundrobin or hash (default roundrobin)")
 	preloadDeadline := flag.Duration("preload-deadline", 0, "per-shard fan-out deadline for the preloaded region (0 = none)")
@@ -95,7 +98,10 @@ func main() {
 				Hedge:    *preloadReplicaHedge,
 			}
 		}
-		index := wire.IndexParams{M: *preloadM, EfConstruction: *preloadEfc, EfSearch: *preloadEf}
+		index := wire.IndexParams{
+			M: *preloadM, EfConstruction: *preloadEfc, EfSearch: *preloadEf,
+			Sample: *preloadSample, Rerank: *preloadRerank,
+		}
 		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, index, sharding, replicas); err != nil {
 			log.Fatalf("preload %q: %v", *preload, err)
 		}

@@ -16,10 +16,11 @@ func TestNewRejectsOutOfRangeEnums(t *testing.T) {
 	}{
 		{"metric high", Config{Metric: Hamming + 1}, "metric"},
 		{"metric negative", Config{Metric: -1}, "metric"},
-		// Graph is the current upper bound; Valid() widens silently when
-		// a mode is appended, so pin that one-past-the-end is rejected.
-		{"mode high", Config{Mode: Graph + 1}, "mode"},
-		{"mode far high", Config{Mode: Graph + 100}, "mode"},
+		// Quantized is the current upper bound; Valid() widens silently
+		// when a mode is appended, so pin that one-past-the-end is
+		// rejected.
+		{"mode high", Config{Mode: Quantized + 1}, "mode"},
+		{"mode far high", Config{Mode: Quantized + 100}, "mode"},
 		{"mode negative", Config{Mode: -1}, "mode"},
 		{"execution high", Config{Execution: Device + 1}, "execution"},
 		{"execution negative", Config{Execution: -1}, "execution"},
@@ -42,11 +43,14 @@ func TestEnumStrings(t *testing.T) {
 	if s := (Hamming + 1).String(); s != "unknown" {
 		t.Fatalf("out-of-range Metric.String() = %q, want unknown", s)
 	}
-	if s := (Graph + 1).String(); s != "unknown" {
+	if s := (Quantized + 1).String(); s != "unknown" {
 		t.Fatalf("out-of-range Mode.String() = %q, want unknown", s)
 	}
 	if s := Graph.String(); s != "graph" {
 		t.Fatalf("Graph.String() = %q, want graph", s)
+	}
+	if s := Quantized.String(); s != "quantized" {
+		t.Fatalf("Quantized.String() = %q, want quantized", s)
 	}
 	if s := (Device + 1).String(); s != "unknown" {
 		t.Fatalf("out-of-range Execution.String() = %q, want unknown", s)
@@ -60,7 +64,7 @@ func TestParseRoundTrips(t *testing.T) {
 			t.Fatalf("ParseMetric(%q) = %v, %v", m.String(), got, err)
 		}
 	}
-	for m := Linear; m <= Graph; m++ {
+	for m := Linear; m <= Quantized; m++ {
 		got, err := ParseMode(m.String())
 		if err != nil || got != m {
 			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
@@ -68,6 +72,9 @@ func TestParseRoundTrips(t *testing.T) {
 	}
 	if got, err := ParseMode("graph"); err != nil || got != Graph {
 		t.Fatalf("ParseMode(graph) = %v, %v", got, err)
+	}
+	if got, err := ParseMode("quantized"); err != nil || got != Quantized {
+		t.Fatalf("ParseMode(quantized) = %v, %v", got, err)
 	}
 	for _, e := range []Execution{Host, Device} {
 		got, err := ParseExecution(e.String())

@@ -1,0 +1,103 @@
+package knn
+
+// Boundary pins for the fixed-point engine, the satellite of the PQ
+// harness: the quantization edges themselves (saturation, NaN/Inf
+// images, zero range) are pinned at the kernel level in
+// internal/vec/fixed_test.go; these tests pin what the FixedEngine
+// built on those kernels does with edge-case *databases* — the
+// pre-strict-decode path that never had boundary coverage.
+
+import (
+	"math"
+	"testing"
+
+	"ssam/internal/vec"
+)
+
+// TestFixedEngineSaturatedRows pins ranking over rows that sit at the
+// Q16.16 saturation boundaries: saturated values compare like the
+// finite extremes they clamp to, and the engine's ordering is exact
+// over the clamped images.
+func TestFixedEngineSaturatedRows(t *testing.T) {
+	rows := [][]float32{
+		{0, 0},      // id 0: at the query
+		{127, -128}, // id 1: the int8 corners, exactly representable
+		{32767, 0},  // id 2: the last exact int16-scale integer
+		{1e9, 0},    // id 3: saturates to MaxInt32, a hair beyond id 2
+	}
+	data := make([]int32, 0, len(rows)*2)
+	for _, r := range rows {
+		data = append(data, vec.ToFixedVec(r)...)
+	}
+	e := NewFixedEngine(data, 2, vec.Euclidean, 1)
+	got := e.Search(vec.ToFixedVec([]float32{0, 0}), 4)
+	// The saturated row must rank strictly after the exact 32767 row:
+	// MaxInt32 is 32768 - 2^-16 in Q16.16, and one saturated coordinate
+	// squared (~2^62) still fits the int64 accumulator. (Both corners
+	// saturated in both dimensions would overflow it — the engine's
+	// documented domain is ±128-magnitude feature vectors.)
+	wantOrder := []int{0, 1, 2, 3}
+	for i, w := range wantOrder {
+		if got[i].ID != w {
+			t.Fatalf("rank %d: got id %d, want %d (results %v)", i, got[i].ID, w, got)
+		}
+	}
+	if got[0].Dist != 0 {
+		t.Errorf("self-distance = %v, want 0", got[0].Dist)
+	}
+}
+
+// TestFixedEngineZeroRangeDatabase pins the all-equal-dimension edge
+// at the engine level: every row identical means every distance is
+// exactly zero and ranking degenerates to ascending id — the total
+// order's tie-break, same as the float engines.
+func TestFixedEngineZeroRangeDatabase(t *testing.T) {
+	const n, dim = 9, 3
+	row := vec.ToFixedVec([]float32{1.5, 1.5, 1.5})
+	data := make([]int32, 0, n*dim)
+	for i := 0; i < n; i++ {
+		data = append(data, row...)
+	}
+	for _, metric := range []vec.Metric{vec.Euclidean, vec.Manhattan} {
+		e := NewFixedEngine(data, dim, metric, 4)
+		e.SetSerialThreshold(0)
+		got := e.Search(row, 5)
+		for i, r := range got {
+			if r.ID != i || r.Dist != 0 {
+				t.Fatalf("%v: result %d = {id %d, dist %v}, want {id %d, dist 0}",
+					metric, i, r.ID, r.Dist, i)
+			}
+		}
+	}
+}
+
+// TestFixedEngineNonFiniteQuery pins that a query containing NaN or
+// Inf, once quantized, behaves as its deterministic fixed-point image
+// (NaN -> 0, Inf -> saturation) rather than poisoning the scan: every
+// distance stays finite and the result is bit-identical to querying
+// with the image directly.
+func TestFixedEngineNonFiniteQuery(t *testing.T) {
+	data := vec.ToFixedVec([]float32{
+		0, 0,
+		1, 1,
+		-2, 3,
+	})
+	e := NewFixedEngine(data, 2, vec.Euclidean, 1)
+	nanQ := vec.ToFixedVec([]float32{float32(math.NaN()), 1})
+	imgQ := vec.ToFixedVec([]float32{0, 1})
+	got, want := e.Search(nanQ, 3), e.Search(imgQ, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NaN query result %d = %v, want image-query result %v", i, got[i], want[i])
+		}
+		if math.IsNaN(got[i].Dist) || math.IsInf(got[i].Dist, 0) {
+			t.Fatalf("result %d distance %v not finite", i, got[i].Dist)
+		}
+	}
+	infQ := vec.ToFixedVec([]float32{float32(math.Inf(1)), 0})
+	for _, r := range e.Search(infQ, 3) {
+		if math.IsNaN(r.Dist) || math.IsInf(r.Dist, 0) {
+			t.Fatalf("Inf-query distance %v not finite (saturation must keep int64 math exact)", r.Dist)
+		}
+	}
+}

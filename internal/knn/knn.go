@@ -35,6 +35,13 @@ type Stats struct {
 	Dims      int // total vector dimensions touched by distance math
 	PQInserts int // candidate offers to the top-k structure
 	PQKept    int // offers that were admitted
+	// TableBuilds and CodeEvals account for the product-quantized
+	// engine (pq.go): ADC lookup-table constructions and code-word
+	// distance evaluations. A code eval reads M bytes and does M table
+	// adds instead of a full distance computation, so it is counted
+	// here rather than in DistEvals.
+	TableBuilds int
+	CodeEvals   int
 	// Seq is the mutation sequence number of the snapshot the query
 	// executed against (internal/mutate); 0 for the immutable engines,
 	// whose datasets have no generations.
@@ -48,6 +55,8 @@ func (s *Stats) Add(other Stats) {
 	s.Dims += other.Dims
 	s.PQInserts += other.PQInserts
 	s.PQKept += other.PQKept
+	s.TableBuilds += other.TableBuilds
+	s.CodeEvals += other.CodeEvals
 	if other.Seq > s.Seq {
 		s.Seq = other.Seq
 	}

@@ -121,9 +121,9 @@ func TestEngineStats(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{1, 2, 3, 4, 9}
-	a.Add(Stats{10, 20, 30, 40, 7})
-	if a != (Stats{11, 22, 33, 44, 9}) {
+	a := Stats{DistEvals: 1, Dims: 2, PQInserts: 3, PQKept: 4, TableBuilds: 5, CodeEvals: 6, Seq: 9}
+	a.Add(Stats{DistEvals: 10, Dims: 20, PQInserts: 30, PQKept: 40, TableBuilds: 50, CodeEvals: 60, Seq: 7})
+	if a != (Stats{DistEvals: 11, Dims: 22, PQInserts: 33, PQKept: 44, TableBuilds: 55, CodeEvals: 66, Seq: 9}) {
 		t.Fatalf("Add = %+v", a)
 	}
 	// Seq is a generation marker, not a work counter: Add keeps the

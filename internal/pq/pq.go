@@ -1,0 +1,301 @@
+// Package pq implements product quantization for approximate nearest
+// neighbor search: the codesign lever André's thesis (arXiv:1712.02912)
+// applies on host silicon and NCAM (arXiv:1606.03742) applies near
+// memory. A d-dimensional float32 vector is split into M subspaces and
+// each subspace is vector-quantized against its own codebook of
+// Ks = 256 centroids, so a database row shrinks from 4·d bytes to M
+// bytes. Query-time distances are computed asymmetrically (ADC): one
+// lookup table of M×256 query-to-centroid partial distances is built
+// per query, after which each database row costs M table lookups and
+// M-1 additions instead of d float subtract-multiply-adds — every byte
+// fetched from memory does more distance work, which is the same
+// bandwidth-per-eval argument the SSAM vault accelerators make in §IV
+// of the source paper.
+//
+// Codebook training (Train) is deterministic: the training sample, the
+// k-means initialization, and the empty-cluster reseeds are all drawn
+// from one seeded generator, so the same data and Params produce
+// bit-identical codebooks on every run.
+package pq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Ks is the number of centroids per subquantizer. It is fixed at 256
+// so a code element is exactly one byte: the scan kernel indexes its
+// lookup tables with raw code bytes, which needs no bounds check once
+// the table is viewed as a *[Ks]float32.
+const Ks = 256
+
+// Defaults for Params fields left zero.
+const (
+	DefaultM          = 8
+	DefaultSample     = 8192
+	DefaultIterations = 12
+)
+
+// Params configures codebook training.
+type Params struct {
+	// M is the subquantizer count. Each subspace covers dim/M
+	// dimensions (the first dim%M subspaces take one extra, so any
+	// 1 <= M <= dim is valid). 0 selects DefaultM.
+	M int
+	// Sample is the number of database rows the k-means training runs
+	// on, drawn without replacement from a seeded generator (the whole
+	// database when it has fewer rows). 0 selects DefaultSample.
+	Sample int
+	// Iterations bounds the Lloyd iterations per subquantizer;
+	// training stops early when assignments stabilize. 0 selects
+	// DefaultIterations.
+	Iterations int
+	// Seed seeds sampling, initialization, and reseeding.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.M == 0 {
+		p.M = DefaultM
+	}
+	if p.Sample == 0 {
+		p.Sample = DefaultSample
+	}
+	if p.Iterations == 0 {
+		p.Iterations = DefaultIterations
+	}
+	return p
+}
+
+// Codebook holds M per-subspace centroid sets over dim-dimensional
+// vectors. Centroids always use squared-L2 k-means regardless of the
+// query metric: for the additive metrics the ADC tables support
+// (squared L2, L1) the L2-trained cells remain a usable partition, and
+// training stays metric-independent so one codebook serves both.
+type Codebook struct {
+	dim    int
+	m      int
+	starts []int     // len m+1: subspace j covers dims [starts[j], starts[j+1])
+	cents  []float32 // Ks*dim floats; subspace j's block starts at Ks*starts[j]
+}
+
+// Train builds a codebook for the flattened row-major database. It is
+// deterministic in (data, dim, p).
+func Train(data []float32, dim int, p Params) (*Codebook, error) {
+	if dim <= 0 || len(data)%dim != 0 {
+		return nil, fmt.Errorf("pq: data length %d not a positive multiple of dim %d", len(data), dim)
+	}
+	n := len(data) / dim
+	if n == 0 {
+		return nil, fmt.Errorf("pq: empty database")
+	}
+	p = p.withDefaults()
+	if p.M < 1 || p.M > dim {
+		return nil, fmt.Errorf("pq: M=%d out of range [1, %d]", p.M, dim)
+	}
+	if p.Sample < 1 || p.Iterations < 1 {
+		return nil, fmt.Errorf("pq: Sample and Iterations must be positive")
+	}
+
+	cb := &Codebook{
+		dim:    dim,
+		m:      p.M,
+		starts: subspaceStarts(dim, p.M),
+		cents:  make([]float32, Ks*dim),
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	sample := sampleRows(rng, n, p.Sample)
+	for j := 0; j < cb.m; j++ {
+		cb.trainSub(rng, data, sample, j, p.Iterations)
+	}
+	return cb, nil
+}
+
+// subspaceStarts splits dim dimensions into m contiguous subspaces,
+// the first dim%m of them one dimension wider.
+func subspaceStarts(dim, m int) []int {
+	starts := make([]int, m+1)
+	base, extra := dim/m, dim%m
+	for j := 0; j < m; j++ {
+		w := base
+		if j < extra {
+			w++
+		}
+		starts[j+1] = starts[j] + w
+	}
+	return starts
+}
+
+// sampleRows draws min(sample, n) distinct row indices without
+// replacement and returns them sorted ascending (sorted so the
+// training pass touches memory in row order).
+func sampleRows(rng *rand.Rand, n, sample int) []int {
+	if sample >= n {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	rows := rng.Perm(n)[:sample]
+	sort.Ints(rows)
+	return rows
+}
+
+// trainSub runs seeded Lloyd k-means for subspace j over the sampled
+// rows, writing the Ks centroids into cb.cents.
+func (cb *Codebook) trainSub(rng *rand.Rand, data []float32, sample []int, j, iters int) {
+	lo, hi := cb.starts[j], cb.starts[j+1]
+	sub := hi - lo
+	ns := len(sample)
+	cents := cb.cents[Ks*lo : Ks*hi]
+
+	// Initialize from distinct sampled rows (cycling when the sample
+	// is smaller than Ks; the duplicates lose every nearest-centroid
+	// tie to the first copy and simply go unused).
+	perm := rng.Perm(ns)
+	for c := 0; c < Ks; c++ {
+		row := sample[perm[c%ns]]
+		copy(cents[c*sub:(c+1)*sub], data[row*cb.dim+lo:row*cb.dim+hi])
+	}
+
+	assign := make([]int, ns)
+	dists := make([]float64, ns)
+	sum := make([]float64, Ks*sub)
+	count := make([]int, Ks)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, row := range sample {
+			v := data[row*cb.dim+lo : row*cb.dim+hi]
+			c, d := nearestCentroid(cents, sub, v)
+			dists[i] = d
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		for i := range sum {
+			sum[i] = 0
+		}
+		for c := range count {
+			count[c] = 0
+		}
+		for i, row := range sample {
+			c := assign[i]
+			count[c]++
+			v := data[row*cb.dim+lo : row*cb.dim+hi]
+			acc := sum[c*sub : (c+1)*sub]
+			for d := range acc {
+				acc[d] += float64(v[d])
+			}
+		}
+		// Empty clusters reseed to the points currently worst served
+		// (largest assignment distance), each empty cluster taking the
+		// next-farthest point (cycling when empties outnumber points) —
+		// deterministic, no generator state.
+		var farthest []int
+		fi := 0
+		for c := 0; c < Ks; c++ {
+			if count[c] > 0 {
+				dst := cents[c*sub : (c+1)*sub]
+				inv := 1 / float64(count[c])
+				for d := range dst {
+					dst[d] = float32(sum[c*sub+d] * inv)
+				}
+				continue
+			}
+			if farthest == nil {
+				farthest = make([]int, ns)
+				for i := range farthest {
+					farthest[i] = i
+				}
+				sort.Slice(farthest, func(a, b int) bool {
+					if dists[farthest[a]] != dists[farthest[b]] {
+						return dists[farthest[a]] > dists[farthest[b]]
+					}
+					return farthest[a] < farthest[b]
+				})
+			}
+			row := sample[farthest[fi%len(farthest)]]
+			fi++
+			copy(cents[c*sub:(c+1)*sub], data[row*cb.dim+lo:row*cb.dim+hi])
+		}
+	}
+}
+
+// nearestCentroid returns the index of the centroid nearest v under
+// squared L2 (ties to the lowest index) and the distance to it.
+func nearestCentroid(cents []float32, sub int, v []float32) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c*sub < len(cents); c++ {
+		cent := cents[c*sub : (c+1)*sub]
+		var acc float64
+		for d := range cent {
+			diff := float64(v[d]) - float64(cent[d])
+			acc += diff * diff
+		}
+		if acc < bestD {
+			best, bestD = c, acc
+		}
+	}
+	return best, bestD
+}
+
+// M returns the subquantizer count.
+func (cb *Codebook) M() int { return cb.m }
+
+// Dim returns the vector dimensionality.
+func (cb *Codebook) Dim() int { return cb.dim }
+
+// SubDim returns the width of subspace j.
+func (cb *Codebook) SubDim(j int) int { return cb.starts[j+1] - cb.starts[j] }
+
+// Centroid returns centroid c of subquantizer j (a view, not a copy).
+func (cb *Codebook) Centroid(j, c int) []float32 {
+	lo, hi := cb.starts[j], cb.starts[j+1]
+	sub := hi - lo
+	base := Ks*lo + c*sub
+	return cb.cents[base : base+sub]
+}
+
+// EncodeVec writes v's M-byte code into dst (len >= M): for each
+// subspace, the index of the nearest centroid under squared L2.
+func (cb *Codebook) EncodeVec(v []float32, dst []byte) {
+	if len(v) != cb.dim {
+		panic("pq: dimension mismatch")
+	}
+	for j := 0; j < cb.m; j++ {
+		lo, hi := cb.starts[j], cb.starts[j+1]
+		c, _ := nearestCentroid(cb.cents[Ks*lo:Ks*hi], hi-lo, v[lo:hi])
+		dst[j] = byte(c)
+	}
+}
+
+// Encode codes every row of the flattened database, returning n*M
+// row-major code bytes.
+func (cb *Codebook) Encode(data []float32) []byte {
+	n := len(data) / cb.dim
+	codes := make([]byte, n*cb.m)
+	for i := 0; i < n; i++ {
+		cb.EncodeVec(data[i*cb.dim:(i+1)*cb.dim], codes[i*cb.m:(i+1)*cb.m])
+	}
+	return codes
+}
+
+// Decode reconstructs the centroid approximation of an M-byte code
+// into dst (len >= Dim), returning dst.
+func (cb *Codebook) Decode(code []byte, dst []float32) []float32 {
+	for j := 0; j < cb.m; j++ {
+		copy(dst[cb.starts[j]:cb.starts[j+1]], cb.Centroid(j, int(code[j])))
+	}
+	return dst
+}

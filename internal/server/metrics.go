@@ -105,6 +105,21 @@ func (s *Server) registerRegionMetrics(e *regionEntry) {
 		// lock-free (all zeros until the first write, and again after
 		// Free detaches the store — Unregister precedes Free anyway).
 		region := e.region
+		if e.cfg.Mode == ssam.Quantized {
+			// Quantized regions: ADC work counters. All zeros until the
+			// index is built (QuantizedStats reports ok=false before the
+			// engine exists).
+			qst := func() ssam.QuantizedCounters { st, _ := region.QuantizedStats(); return st }
+			s.registry.CounterFunc("ssam_pq_table_builds_total",
+				"ADC lookup tables built (one per query), per region.", lbl,
+				func() uint64 { return qst().TableBuilds })
+			s.registry.CounterFunc("ssam_pq_code_evals_total",
+				"8-bit code rows scored through ADC tables, per region.", lbl,
+				func() uint64 { return qst().CodeEvals })
+			s.registry.CounterFunc("ssam_pq_rerank_evals_total",
+				"ADC candidates re-scored at full precision, per region.", lbl,
+				func() uint64 { return qst().RerankEvals })
+		}
 		mst := func() ssam.MutationStats { st, _ := region.MutationStats(); return st }
 		s.registry.GaugeFunc("ssam_region_mutation_seq",
 			"Last committed mutation sequence number, per region.", lbl,

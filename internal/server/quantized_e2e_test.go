@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ssam"
+	"ssam/internal/client"
+	"ssam/internal/server"
+	"ssam/internal/server/wire"
+)
+
+// TestQuantizedRegionEndToEnd drives a quantized-mode region through
+// the full client → server → region path: the PQ knobs must survive
+// the wire, and because codebook training is deterministic in the
+// seed, the served answers must equal a direct in-process Region built
+// with the same IndexParams, neighbor for neighbor. The region's ADC
+// work counters must then show up in both /statsz and /metrics.
+func TestQuantizedRegionEndToEnd(t *testing.T) {
+	const (
+		n, dim = 600, 16
+		k      = 5
+		nq     = 16
+	)
+	rows, queries := testData(n, nq, dim)
+
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := client.New(ts.URL, client.WithTimeout(time.Minute))
+
+	cfg := wire.RegionConfig{
+		Mode: "quantized",
+		Index: wire.IndexParams{
+			M: 4, Sample: 512, Rerank: 64, Seed: 9,
+		},
+	}
+	if _, err := c.CreateRegion(ctx, "pq", dim, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(ctx, "pq", rows); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Build(ctx, "pq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Built || info.Config.Mode != "quantized" {
+		t.Fatalf("post-build info: %+v", info)
+	}
+	if got := info.Config.Index; got != cfg.Index {
+		t.Fatalf("index params did not survive the wire: %+v", got)
+	}
+
+	direct, err := ssam.New(dim, ssam.Config{
+		Mode:  ssam.Quantized,
+		Index: ssam.IndexParams(cfg.Index),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Free()
+	if err := direct.LoadFloat32(flatten(rows)); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, q := range queries {
+		served, err := c.Search(ctx, "pq", q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(served) != len(want) {
+			t.Fatalf("query %d: served %d results, want %d", i, len(served), len(want))
+		}
+		for j := range want {
+			if served[j].ID != want[j].ID || served[j].Distance != want[j].Dist {
+				t.Fatalf("query %d rank %d: served %+v, want %+v", i, j, served[j], want[j])
+			}
+		}
+	}
+
+	// Batch path through the same region.
+	batch, err := c.SearchBatch(ctx, "pq", queries[:8], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range batch {
+		if len(row) != k {
+			t.Fatalf("batch row %d: %d results", i, len(row))
+		}
+	}
+
+	// /statsz carries the quantized work-counter block: one table per
+	// query served, n code evals per query, Rerank re-scores per query.
+	const queriesServed = nq + 8
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := st.Regions["pq"]
+	if !ok {
+		t.Fatalf("region missing from /statsz: %+v", st.Regions)
+	}
+	if rs.Quantized == nil {
+		t.Fatal("statsz quantized block missing for a built quantized region")
+	}
+	if rs.Quantized.TableBuilds != queriesServed {
+		t.Errorf("TableBuilds = %d, want %d", rs.Quantized.TableBuilds, queriesServed)
+	}
+	if rs.Quantized.CodeEvals != queriesServed*n {
+		t.Errorf("CodeEvals = %d, want %d", rs.Quantized.CodeEvals, queriesServed*n)
+	}
+	if want := uint64(queriesServed * cfg.Index.Rerank); rs.Quantized.RerankEvals != want {
+		t.Errorf("RerankEvals = %d, want %d", rs.Quantized.RerankEvals, want)
+	}
+
+	// /metrics exposes the same counters as ssam_pq_* series.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, series := range []string{
+		`ssam_pq_table_builds_total{region="pq"}`,
+		`ssam_pq_code_evals_total{region="pq"}`,
+		`ssam_pq_rerank_evals_total{region="pq"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	if err := c.Free(ctx, "pq"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizedRejections pins the wire-level validation for quantized
+// regions: a negative re-rank depth and an out-of-range subquantizer
+// count must be rejected at create/build with a 4xx, not a panic.
+func TestQuantizedRejections(t *testing.T) {
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := client.New(ts.URL, client.WithTimeout(time.Minute))
+
+	// Negative rerank is rejected at create.
+	_, err := c.CreateRegion(ctx, "bad", 8, wire.RegionConfig{
+		Mode:  "quantized",
+		Index: wire.IndexParams{Rerank: -1},
+	})
+	if err == nil {
+		t.Fatal("negative rerank accepted at create")
+	}
+
+	// M larger than the dimensionality fails at build (the codebook has
+	// no subspace to give the extra subquantizers).
+	rows, _ := testData(50, 1, 8)
+	if _, err := c.CreateRegion(ctx, "wide", 8, wire.RegionConfig{
+		Mode:  "quantized",
+		Index: wire.IndexParams{M: 9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(ctx, "wide", rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build(ctx, "wide"); err == nil {
+		t.Fatal("M > dims accepted at build")
+	}
+}

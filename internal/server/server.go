@@ -866,6 +866,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			if mst, ok := region.MutationStats(); ok {
 				rs.Mutation = toWireMutation(mst)
 			}
+			if qst, ok := region.QuantizedStats(); ok {
+				rs.Quantized = &wire.QuantizedStats{
+					TableBuilds: qst.TableBuilds,
+					CodeEvals:   qst.CodeEvals,
+					RerankEvals: qst.RerankEvals,
+				}
+			}
 		}
 		resp.Regions[name] = rs
 	}

@@ -80,10 +80,14 @@ type IndexParams struct {
 	Probes    int `json:"probes,omitempty"`
 	// Graph-mode (HNSW) knobs: per-layer degree bound, build beam, and
 	// query-time beam.
-	M              int   `json:"m,omitempty"`
-	EfConstruction int   `json:"ef_construction,omitempty"`
-	EfSearch       int   `json:"ef_search,omitempty"`
-	Seed           int64 `json:"seed,omitempty"`
+	M              int `json:"m,omitempty"`
+	EfConstruction int `json:"ef_construction,omitempty"`
+	EfSearch       int `json:"ef_search,omitempty"`
+	// Quantized-mode (PQ) knobs: codebook training sample size and the
+	// exact re-rank depth (M doubles as the subquantizer count).
+	Sample int   `json:"sample,omitempty"`
+	Rerank int   `json:"rerank,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
 }
 
 // CreateRegionRequest allocates a named region (nmalloc + nmode).
@@ -260,6 +264,17 @@ type RegionStats struct {
 	// Replication holds per-replica routing stats for replicated
 	// regions.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Quantized holds the PQ engine's work counters, present only for
+	// built quantized-mode regions.
+	Quantized *QuantizedStats `json:"quantized,omitempty"`
+}
+
+// QuantizedStats is the quantized-engine block of a region's stats:
+// cumulative ADC work counters since build.
+type QuantizedStats struct {
+	TableBuilds uint64 `json:"table_builds"` // ADC lookup tables built (one per query)
+	CodeEvals   uint64 `json:"code_evals"`   // 8-bit code rows scored through the tables
+	RerankEvals uint64 `json:"rerank_evals"` // candidates re-scored at full precision
 }
 
 // ReplicationStats is the replica-group block of a region's stats.

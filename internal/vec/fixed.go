@@ -18,10 +18,15 @@ const FixedShift = 16
 const FixedOne int32 = 1 << FixedShift
 
 // ToFixed converts a float to Q16.16 with rounding toward nearest.
-// Values outside the representable range saturate.
+// Values outside the representable range saturate; NaN maps to zero
+// (the int32(NaN) conversion result is platform-dependent, and a
+// deterministic image keeps device layouts bit-identical across
+// hosts).
 func ToFixed(v float32) int32 {
 	f := float64(v) * float64(FixedOne)
 	switch {
+	case f != f:
+		return 0
 	case f >= 2147483647:
 		return 2147483647
 	case f <= -2147483648:

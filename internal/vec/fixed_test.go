@@ -25,6 +25,75 @@ func TestFixedSaturation(t *testing.T) {
 	}
 }
 
+// TestFixedSaturationBoundaries walks the exact edges of the Q16.16
+// range the way int8/int16 quantizers are tested at ±128/±32768: the
+// largest representable magnitudes convert exactly, one step past them
+// clamps, and the clamp is idempotent under round trip.
+func TestFixedSaturationBoundaries(t *testing.T) {
+	// 32767 integer units is the last fully-representable power-of-two
+	// neighborhood: 32767.0 -> 32767 << 16 exactly.
+	if got := ToFixed(32767); got != 32767<<FixedShift {
+		t.Errorf("ToFixed(32767) = %d, want %d", got, 32767<<FixedShift)
+	}
+	// MaxInt32/2^16 = 32767.99998...; the next representable float up
+	// (32768.0) must clamp rather than wrap to MinInt32.
+	if got := ToFixed(32768); got != math.MaxInt32 {
+		t.Errorf("ToFixed(32768) = %d, want MaxInt32", got)
+	}
+	// The negative edge is exactly representable: -32768.0 -> MinInt32.
+	if got := ToFixed(-32768); got != math.MinInt32 {
+		t.Errorf("ToFixed(-32768) = %d, want MinInt32", got)
+	}
+	if got := ToFixed(-32769); got != math.MinInt32 {
+		t.Errorf("ToFixed(-32769) = %d, want MinInt32 (clamped)", got)
+	}
+	// int8-scale boundaries stay exact (feature-vector range).
+	for _, v := range []float32{127, -128, 127.5, -127.5} {
+		if got := FromFixed(ToFixed(v)); got != v {
+			t.Errorf("round trip %v -> %v at int8-scale boundary", v, got)
+		}
+	}
+}
+
+// TestFixedNonFinite pins the deterministic images of the non-finite
+// floats: infinities saturate like out-of-range values, NaN maps to
+// zero on every platform (a raw int32(NaN) conversion is
+// implementation-defined, which would make device layouts differ
+// across hosts).
+func TestFixedNonFinite(t *testing.T) {
+	if got := ToFixed(float32(math.Inf(1))); got != math.MaxInt32 {
+		t.Errorf("ToFixed(+Inf) = %d, want MaxInt32", got)
+	}
+	if got := ToFixed(float32(math.Inf(-1))); got != math.MinInt32 {
+		t.Errorf("ToFixed(-Inf) = %d, want MinInt32", got)
+	}
+	if got := ToFixed(float32(math.NaN())); got != 0 {
+		t.Errorf("ToFixed(NaN) = %d, want 0", got)
+	}
+	out := ToFixedVec([]float32{float32(math.NaN()), 1, float32(math.Inf(1))})
+	if out[0] != 0 || out[1] != FixedOne || out[2] != math.MaxInt32 {
+		t.Errorf("ToFixedVec non-finite images = %v", out)
+	}
+}
+
+// TestFixedZeroRange covers the all-equal-dimension edge: a constant
+// vector quantizes to a constant, and distances between identical
+// quantized vectors are exactly zero in both kernels.
+func TestFixedZeroRange(t *testing.T) {
+	a := ToFixedVec([]float32{2.5, 2.5, 2.5, 2.5})
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			t.Fatalf("constant vector not constant after quantization: %v", a)
+		}
+	}
+	if d := SquaredL2Fixed(a, a); d != 0 {
+		t.Errorf("SquaredL2Fixed(a, a) = %d, want 0", d)
+	}
+	if d := L1Fixed(a, a); d != 0 {
+		t.Errorf("L1Fixed(a, a) = %d, want 0", d)
+	}
+}
+
 func TestFixedOneValue(t *testing.T) {
 	if ToFixed(1.0) != FixedOne {
 		t.Fatalf("ToFixed(1.0) = %d, want %d", ToFixed(1.0), FixedOne)

@@ -161,7 +161,7 @@ func TestRegionMutationEquivalence(t *testing.T) {
 
 func TestImmutableEnginesRejectMutation(t *testing.T) {
 	ds := regionDataset(t)
-	for _, mode := range []Mode{KDTree, KMeans, MPLSH, Graph} {
+	for _, mode := range []Mode{KDTree, KMeans, MPLSH, Graph, Quantized} {
 		r, err := New(ds.Dim(), Config{Mode: mode, Metric: Euclidean})
 		if err != nil {
 			t.Fatal(err)

@@ -64,6 +64,7 @@ type Region struct {
 	kmTree   *kmeans.Tree
 	mplsh    *lsh.Index
 	graphIdx *graph.Index
+	pqEng    *knn.PQEngine
 
 	// Simulated device (Device execution) and its on-device indexes.
 	device    *ssamdev.Device
@@ -71,6 +72,7 @@ type Region struct {
 	devKMTree *ssamdev.KMTreeIndex
 	devLSH    *ssamdev.LSHIndex
 	devGraph  *ssamdev.GraphIndex
+	devPQ     *ssamdev.PQIndex
 	devChecks int // per-PU scan budget for device tree indexes
 
 	lastStats DeviceStats
@@ -101,7 +103,7 @@ func New(dims int, cfg Config) (*Region, error) {
 		return nil, fmt.Errorf("ssam: metric %d out of range [%v..%v]", int(cfg.Metric), Euclidean, Hamming)
 	}
 	if !cfg.Mode.Valid() {
-		return nil, fmt.Errorf("ssam: mode %d out of range [%v..%v]", int(cfg.Mode), Linear, Graph)
+		return nil, fmt.Errorf("ssam: mode %d out of range [%v..%v]", int(cfg.Mode), Linear, Quantized)
 	}
 	if !cfg.Execution.Valid() {
 		return nil, fmt.Errorf("ssam: execution %d not in {%v, %v}", int(cfg.Execution), Host, Device)
@@ -120,11 +122,18 @@ func New(dims int, cfg Config) (*Region, error) {
 	if cfg.Metric == Hamming && cfg.Mode != Linear {
 		return nil, fmt.Errorf("ssam: Hamming regions support Linear mode only")
 	}
-	if cfg.Execution == Device && cfg.Mode != Linear && cfg.Metric != Euclidean {
+	// Quantized joins Linear in supporting every float metric (ADC
+	// tables are additive under Euclidean and Manhattan, and cosine is
+	// served by normalize-at-encode); the tree, LSH and graph indexes
+	// remain Euclidean-only.
+	if cfg.Execution == Device && cfg.Mode != Linear && cfg.Mode != Quantized && cfg.Metric != Euclidean {
 		return nil, fmt.Errorf("ssam: device %v indexing requires the Euclidean metric", cfg.Mode)
 	}
-	if cfg.Mode != Linear && cfg.Metric != Euclidean {
+	if cfg.Mode != Linear && cfg.Mode != Quantized && cfg.Metric != Euclidean {
 		return nil, fmt.Errorf("ssam: %v indexing requires the Euclidean metric", cfg.Mode)
+	}
+	if cfg.Index.Rerank < 0 {
+		return nil, fmt.Errorf("ssam: rerank must be non-negative, got %d", cfg.Index.Rerank)
 	}
 	return &Region{cfg: cfg, dims: dims}, nil
 }
@@ -254,6 +263,15 @@ func (r *Region) BuildIndex() error {
 			// NDSEARCH-style execution model.
 			r.graphIdx = graph.Build(r.data, r.dims, ip.graphParams())
 			r.devGraph, err = r.device.AttachGraphIndex(r.graphIdx)
+		case Quantized:
+			// Like Graph, the codebook is trained on the host and attached,
+			// so Host and Device answer bit-identically; the device model
+			// prices the §IV bandwidth story — ADC tables resident in each
+			// vault's scratchpad, code bytes streamed from vault DRAM.
+			r.pqEng, err = knn.NewPQEngineVaults(r.data, r.dims, r.cfg.Metric.toVec(), ip.pqParams(), workers, r.cfg.Vaults)
+			if err == nil {
+				r.devPQ, err = r.device.AttachPQIndex(r.pqEng)
+			}
 		default:
 			err = fmt.Errorf("ssam: unknown mode %v", r.cfg.Mode)
 		}
@@ -318,6 +336,12 @@ func (r *Region) BuildIndex() error {
 		}
 	case Graph:
 		r.graphIdx = graph.Build(r.data, r.dims, ip.graphParams())
+	case Quantized:
+		var err error
+		r.pqEng, err = knn.NewPQEngineVaults(r.data, r.dims, r.cfg.Metric.toVec(), ip.pqParams(), workers, r.cfg.Vaults)
+		if err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("ssam: unknown mode %v", r.cfg.Mode)
 	}
@@ -326,8 +350,9 @@ func (r *Region) BuildIndex() error {
 }
 
 // SetChecks adjusts the accuracy/throughput knob of a built index
-// without rebuilding: Checks for tree indexes, Probes for MPLSH, and
-// the efSearch beam width for Graph regions (both execution targets).
+// without rebuilding: Checks for tree indexes, Probes for MPLSH, the
+// efSearch beam width for Graph regions, and the exact re-rank depth
+// for Quantized regions (all on both execution targets).
 func (r *Region) SetChecks(n int) error {
 	if r.freed {
 		return ErrFreed
@@ -344,6 +369,9 @@ func (r *Region) SetChecks(n int) error {
 		r.mplsh.Probes = n
 	case r.graphIdx != nil:
 		r.graphIdx.EfSearch = n
+	case r.pqEng != nil:
+		// Host and Device share the engine, so one retarget covers both.
+		r.pqEng.SetRerank(n)
 	case r.devTree != nil || r.devKMTree != nil:
 		r.devChecks = n
 	default:
@@ -451,6 +479,8 @@ func (r *Region) Exec(k int) error {
 		r.lastRes = r.mplsh.Search(r.query, k)
 	case r.graphIdx != nil:
 		r.lastRes = r.graphIdx.Search(r.query, k)
+	case r.pqEng != nil:
+		r.lastRes = r.pqEng.Search(r.query, k)
 	default:
 		return errors.New("ssam: no engine built")
 	}
@@ -557,6 +587,24 @@ func (r *Region) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]Result, De
 			kst := st.KNN()
 			esp.SetTag("dist_evals", kst.DistEvals)
 			esp.SetTag("dims", kst.Dims)
+		}
+		esp.End()
+		return res, DeviceStats{}, nil
+	}
+	if r.pqEng != nil {
+		// The quantized engine is vault-parallel like the linear one;
+		// hand it the exec span so scanned slabs appear as "vault"
+		// children, and tag the ADC work the scan did.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "mode", Value: "quantized"},
+			obs.Tag{Key: "m", Value: r.pqEng.M()},
+			obs.Tag{Key: "rerank", Value: r.pqEng.Rerank()},
+			obs.Tag{Key: "vaults", Value: r.pqEng.Vaults()})
+		res, st := r.pqEng.SearchStatsSpan(q, k, esp)
+		if esp != nil {
+			esp.SetTag("code_evals", st.CodeEvals)
+			esp.SetTag("rerank_evals", st.DistEvals)
 		}
 		esp.End()
 		return res, DeviceStats{}, nil
@@ -723,6 +771,17 @@ func (r *Region) SearchBatchSpan(qs [][]float32, k int, sp *obs.Span) ([][]Resul
 		defer esp.End()
 		return r.linear.SearchBatchSpan(qs, k, esp), nil
 	}
+	if r.pqEng != nil {
+		// Same batch policy as the linear engine: vault-parallel scans
+		// for short batches, cross-query fan-out for long ones.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "mode", Value: "quantized"},
+			obs.Tag{Key: "batch", Value: len(qs)},
+			obs.Tag{Key: "vaults", Value: r.pqEng.Vaults()})
+		defer esp.End()
+		return r.pqEng.SearchBatchSpan(qs, k, esp), nil
+	}
 	search := r.hostSearcher()
 	if search == nil {
 		return nil, errors.New("ssam: no engine built")
@@ -766,6 +825,8 @@ func (r *Region) deviceSearchRaw(q []float32, k int) ([]topk.Result, ssamdev.Que
 		return r.devLSH.Search(q, k)
 	case r.devGraph != nil:
 		return r.devGraph.Search(q, k)
+	case r.devPQ != nil:
+		return r.devPQ.Search(q, k)
 	default:
 		return r.device.Search(q, k)
 	}
@@ -801,8 +862,30 @@ func (r *Region) hostSearcher() func([]float32, int) []Result {
 		return r.mplsh.Search
 	case r.graphIdx != nil:
 		return r.graphIdx.Search
+	case r.pqEng != nil:
+		return r.pqEng.Search
 	}
 	return nil
+}
+
+// pqParams maps the region's index tuning onto quantized-engine
+// construction; zero values select the pq package defaults.
+func (ip IndexParams) pqParams() knn.PQParams {
+	return knn.PQParams{M: ip.M, Sample: ip.Sample, Rerank: ip.Rerank, Seed: ip.Seed}
+}
+
+// QuantizedCounters is a point-in-time view of a quantized region's
+// cumulative work counters, safe to read concurrently with searches.
+type QuantizedCounters = knn.PQCounters
+
+// QuantizedStats returns the quantized engine's cumulative work
+// counters (table builds, code evals, re-rank evals) and whether the
+// region has one. The counters back the server's /metrics series.
+func (r *Region) QuantizedStats() (QuantizedCounters, bool) {
+	if r.pqEng == nil {
+		return QuantizedCounters{}, false
+	}
+	return r.pqEng.Counters(), true
 }
 
 // graphParams maps the region's index tuning onto graph construction;
@@ -842,7 +925,7 @@ func (r *Region) Free() {
 	r.freed = true
 	r.dropStore()
 	r.data, r.codes = nil, nil
-	r.linear, r.hamming, r.forest, r.kmTree, r.mplsh, r.graphIdx = nil, nil, nil, nil, nil, nil
-	r.device, r.devTree, r.devKMTree, r.devLSH, r.devGraph = nil, nil, nil, nil, nil
+	r.linear, r.hamming, r.forest, r.kmTree, r.mplsh, r.graphIdx, r.pqEng = nil, nil, nil, nil, nil, nil, nil
+	r.device, r.devTree, r.devKMTree, r.devLSH, r.devGraph, r.devPQ = nil, nil, nil, nil, nil, nil
 	r.lastRes, r.query = nil, nil
 }

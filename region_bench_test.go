@@ -17,8 +17,12 @@ import (
 )
 
 func benchRegion(b *testing.B, rows, dims int) (*ssam.Region, []float32) {
+	return benchRegionMode(b, rows, dims, ssam.Config{Mode: ssam.Linear, Execution: ssam.Host})
+}
+
+func benchRegionMode(b *testing.B, rows, dims int, cfg ssam.Config) (*ssam.Region, []float32) {
 	b.Helper()
-	r, err := ssam.New(dims, ssam.Config{Mode: ssam.Linear, Execution: ssam.Host})
+	r, err := ssam.New(dims, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,6 +49,23 @@ func benchRegion(b *testing.B, rows, dims int) (*ssam.Region, []float32) {
 // check each.
 func BenchmarkRegionSearchHost(b *testing.B) {
 	r, q := benchRegion(b, 4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchPQ is the quantized scan on the exact shape of
+// BenchmarkRegionSearchHost (4096 x 64, k=10), so the two are directly
+// comparable: the ratio between their ns/op is the host-side ADC
+// speedup ci.sh regression-checks.
+func BenchmarkSearchPQ(b *testing.B) {
+	r, q := benchRegionMode(b, 4096, 64, ssam.Config{
+		Mode:  ssam.Quantized,
+		Index: ssam.IndexParams{Rerank: 64, Seed: 3},
+	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Search(q, 10); err != nil {

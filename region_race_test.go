@@ -20,10 +20,10 @@ func raceDataset(t *testing.T) *dataset.Dataset {
 
 // TestConcurrentSearchAllModes exercises the documented claim that
 // concurrent Search calls are safe once the index is built, across all
-// five indexing modes. Run with -race to verify.
+// six indexing modes. Run with -race to verify.
 func TestConcurrentSearchAllModes(t *testing.T) {
 	ds := raceDataset(t)
-	for _, mode := range []Mode{Linear, KDTree, KMeans, MPLSH, Graph} {
+	for _, mode := range []Mode{Linear, KDTree, KMeans, MPLSH, Graph, Quantized} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()

@@ -103,6 +103,12 @@ const (
 	// answers queries by best-first traversal (NDSEARCH-style when
 	// executed on the device).
 	Graph
+	// Quantized trains a product-quantization codebook and scans 8-bit
+	// codes with per-query ADC lookup tables (André-thesis style),
+	// optionally re-ranking the top candidates against the retained
+	// float32 vectors for exact distances. Supports the Euclidean,
+	// Manhattan and Cosine metrics.
+	Quantized
 )
 
 // String returns the mode name.
@@ -118,16 +124,18 @@ func (m Mode) String() string {
 		return "mplsh"
 	case Graph:
 		return "graph"
+	case Quantized:
+		return "quantized"
 	}
 	return "unknown"
 }
 
 // Valid reports whether m is one of the supported modes.
-func (m Mode) Valid() bool { return m >= Linear && m <= Graph }
+func (m Mode) Valid() bool { return m >= Linear && m <= Quantized }
 
 // ParseMode parses a mode name as produced by Mode.String.
 func ParseMode(s string) (Mode, error) {
-	for m := Linear; m <= Graph; m++ {
+	for m := Linear; m <= Quantized; m++ {
 		if s == m.String() {
 			return m, nil
 		}
@@ -204,6 +212,15 @@ type IndexParams struct {
 	M              int
 	EfConstruction int
 	EfSearch       int
+	// Sample and Rerank shape the Quantized mode: M doubles as the
+	// subquantizer count (code bytes per row, default 8), Sample is the
+	// codebook-training sample size (default 8192), and Rerank re-scores
+	// the top-Rerank ADC candidates against the retained float32
+	// vectors for exact distances (0 = ADC only; >= the dataset size
+	// makes results identical to the exact linear scan). Rerank is the
+	// Quantized accuracy knob, retargeted by SetChecks.
+	Sample int
+	Rerank int
 	// Seed makes index construction reproducible.
 	Seed int64
 }
