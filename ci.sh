@@ -43,6 +43,13 @@ go run ./cmd/ssam-bench -exp replicas -format json -scale 0.001 -queries 2 > /de
 # tiny row count are skipped by the sweep itself).
 go run ./cmd/ssam-bench -exp pq -format json -scale 0.001 -queries 2 > /dev/null
 
+# Tiered-sweep smoke: the out-of-core QPS-vs-cache-fraction generator
+# behind BENCH_10_tiered.json must keep running end to end. The small
+# fractions force real eviction traffic, and every point self-checks
+# bit-exactness against the in-RAM scan, so this also exercises the
+# store's evict/reload path under the gate.
+go run ./cmd/ssam-bench -exp tiered -format json -scale 0.001 -queries 2 > /dev/null
+
 # ADC regression check: the quantized scan must stay meaningfully
 # faster than the float32 scan on the identical benchmark shape
 # (4096 x 64, k=10). Measured headroom is ~3.5x on the growth box; the
@@ -66,6 +73,31 @@ if awk -v r="$pq_ratio" 'BEGIN { exit !(r < 1.5) }'; then
     exit 1
 fi
 echo "quantized scan speedup vs float32 scan: ${pq_ratio}x (floor 1.5x)"
+
+# Tiered regression check: a fully-cached storage-backed region must
+# stay within 1.2x of the in-RAM host scan on the identical benchmark
+# shape (4096 x 64, k=10). Past the first pass every page is resident,
+# so the only extra work is page pins and the vault merge — if this
+# trips, the tier store's hot path has rotted.
+tier_bench=$(go test -run=NONE -bench='BenchmarkRegionSearchHost$|BenchmarkRegionSearchTiered$' -benchtime=20x .)
+tier_ratio=$(echo "$tier_bench" | awk '
+    /BenchmarkRegionSearchHost/   { host = $3 }
+    /BenchmarkRegionSearchTiered/ { tier = $3 }
+    END {
+        if (host == "" || tier == "") { print "missing"; exit }
+        printf "%.2f", tier / host
+    }')
+if [ "$tier_ratio" = "missing" ]; then
+    echo "ci.sh: tiered regression check could not parse benchmark output:" >&2
+    echo "$tier_bench" >&2
+    exit 1
+fi
+if awk -v r="$tier_ratio" 'BEGIN { exit !(r > 1.2) }'; then
+    echo "ci.sh: fully-cached tiered scan is ${tier_ratio}x the in-RAM scan, above the 1.2x ceiling" >&2
+    echo "$tier_bench" >&2
+    exit 1
+fi
+echo "fully-cached tiered scan vs in-RAM scan: ${tier_ratio}x (ceiling 1.2x)"
 
 # Write-mix smoke: stand a server up, drive a brief mixed read/write
 # load through ssam-loadgen (upserts and deletes against a live linear
@@ -130,7 +162,7 @@ go test -run='^Fuzz' -count=1 ./internal/server/wire
 # kernels (knn) hold a higher bar than the rest.
 for spec in ./internal/server:80 ./internal/cluster:80 ./internal/obs:80 \
             ./internal/knn:90 ./internal/graph:80 ./internal/mutate:80 \
-            ./internal/replica:80 ./internal/pq:85; do
+            ./internal/replica:80 ./internal/pq:85 ./internal/tier:80; do
     pkg=${spec%:*}
     floor=${spec#*:}
     pct=$(go test -count=1 -cover "$pkg" | awk '/coverage:/ {gsub(/%/,"",$5); print $5}')

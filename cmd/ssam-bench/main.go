@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, vaults, graph, mutate, replicas, pq, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2, fig6, fig7, pqueue, fixed, tco, build, offload, energy, cluster, shards, vaults, graph, mutate, replicas, pq, tiered, all)")
 	scale := flag.Float64("scale", 0.004, "dataset scale relative to the paper's sizes (0,1]")
 	queries := flag.Int("queries", 10, "queries per measurement point")
 	vlen := flag.Int("vlen", 8, "SSAM vector length (2, 4, 8, 16)")
@@ -60,8 +60,13 @@ func main() {
 			if t, err = bench.PQSweep(o); err == nil {
 				err = bench.WritePQTrajectory(os.Stdout, t)
 			}
+		case "tiered":
+			var t bench.TieredTrajectory
+			if t, err = bench.TieredSweep(o); err == nil {
+				err = bench.WriteTieredTrajectory(os.Stdout, t)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "ssam-bench: -format json is only supported for -exp vaults, -exp graph, -exp mutate, -exp replicas, and -exp pq\n")
+			fmt.Fprintf(os.Stderr, "ssam-bench: -format json is only supported for -exp vaults, -exp graph, -exp mutate, -exp replicas, -exp pq, and -exp tiered\n")
 			os.Exit(2)
 		}
 		if err != nil {
@@ -94,6 +99,7 @@ func main() {
 		"mutate":   func() (bench.Report, error) { return bench.MutateSweepReport(o) },
 		"replicas": func() (bench.Report, error) { return bench.ReplicaSweepReport(o) },
 		"pq":       func() (bench.Report, error) { return bench.PQSweepReport(o) },
+		"tiered":   func() (bench.Report, error) { return bench.TieredSweepReport(o) },
 		"devbuild": func() (bench.Report, error) { return bench.DeviceAssistedBuildReport(o) },
 		"devindex": func() (bench.Report, error) { return bench.DeviceIndexSweepReport(o) },
 		"devlsh":   func() (bench.Report, error) { return bench.DeviceLSHSweepReport(o) },
@@ -102,7 +108,7 @@ func main() {
 	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig2", "fig6", "fig7", "pqueue", "fixed", "tco", "build", "offload",
 		"devbuild", "devindex", "devlsh", "devmix", "energy", "cluster", "shards",
-		"vaults", "graph", "mutate", "replicas", "pq"}
+		"vaults", "graph", "mutate", "replicas", "pq", "tiered"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -10,6 +10,7 @@
 //	ssam-serve -preload glove:0.001 -preload-replicas 3 -chaos-kill-replica 1 -chaos-after 2s
 //	ssam-serve -preload gist:0.01 -preload-mode graph -preload-ef 96
 //	ssam-serve -preload gist:0.01 -preload-mode quantized -preload-rerank 100
+//	ssam-serve -preload gist:0.05 -preload-storage /tmp/gist.tier -preload-storage-budget 33554432
 //	ssam-serve -trace-sample 100 -pprof       # observe a running server
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the server first sheds new
@@ -62,6 +63,9 @@ func main() {
 	preloadHedge := flag.Duration("preload-hedge", 0, "hedge a shard that has not answered within this delay (0 = off)")
 	preloadAllowPartial := flag.Bool("preload-allow-partial", false, "serve degraded (partial) results when shards fail instead of erroring")
 	preloadReplicas := flag.Int("preload-replicas", 0, "serve the preloaded region from N interchangeable replicas with p2c routing (0 = unreplicated)")
+	preloadStorage := flag.String("preload-storage", "", "back the preloaded region's vectors with this file (out-of-core serving; linear/quantized modes)")
+	preloadStorageBudget := flag.Int64("preload-storage-budget", 0, "resident page-cache byte budget for -preload-storage (0 = unlimited)")
+	preloadStoragePrefetch := flag.Bool("preload-storage-prefetch", true, "overlap the next vault's read with the current scan for -preload-storage")
 	preloadReplicaHedge := flag.Bool("preload-replica-hedge", true, "replicated regions: hedge to a second replica after the p99-derived delay")
 	chaosKillReplica := flag.Int("chaos-kill-replica", -1, "inject a fault into this replica slot of the preloaded region (requires -preload-replicas)")
 	chaosAfter := flag.Duration("chaos-after", 2*time.Second, "delay before the injected replica fault fires")
@@ -98,11 +102,19 @@ func main() {
 				Hedge:    *preloadReplicaHedge,
 			}
 		}
+		var storage *wire.StorageConfig
+		if *preloadStorage != "" {
+			storage = &wire.StorageConfig{
+				Path:        *preloadStorage,
+				BudgetBytes: *preloadStorageBudget,
+				Prefetch:    *preloadStoragePrefetch,
+			}
+		}
 		index := wire.IndexParams{
 			M: *preloadM, EfConstruction: *preloadEfc, EfSearch: *preloadEf,
 			Sample: *preloadSample, Rerank: *preloadRerank,
 		}
-		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, index, sharding, replicas); err != nil {
+		if err := preloadRegion(srv, *preload, *preloadMode, *preloadVaults, index, sharding, replicas, storage); err != nil {
 			log.Fatalf("preload %q: %v", *preload, err)
 		}
 		if *chaosKillReplica >= 0 {
@@ -169,7 +181,7 @@ func main() {
 // million rows, so this goes through an in-process request cycle only
 // for create, then loads and builds through the same handlers the
 // wire uses — keeping one code path).
-func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.IndexParams, sharding *wire.ShardingConfig, replicas *wire.ReplicasConfig) error {
+func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.IndexParams, sharding *wire.ShardingConfig, replicas *wire.ReplicasConfig, storage *wire.StorageConfig) error {
 	name, scale := regionName(arg), 0.01
 	if i := strings.IndexByte(arg, ':'); i >= 0 {
 		s, err := strconv.ParseFloat(arg[i+1:], 64)
@@ -199,6 +211,9 @@ func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.
 	if replicas != nil {
 		layout += fmt.Sprintf(", %d replicas", replicas.Replicas)
 	}
+	if storage != nil {
+		layout += fmt.Sprintf(", storage %s (budget %d)", storage.Path, storage.BudgetBytes)
+	}
 	log.Printf("preloading %s: %d x %d vectors (scale %v), mode %s%s",
 		name, spec.N, spec.Dim, scale, mode, layout)
 	ds := dataset.Generate(spec)
@@ -209,7 +224,7 @@ func preloadRegion(srv *server.Server, arg, mode string, vaults int, index wire.
 	}
 	if err := roundTrip(srv, "POST", "/regions", wire.CreateRegionRequest{
 		Name: name, Dims: ds.Dim(),
-		Config: wire.RegionConfig{Mode: mode, Vaults: vaults, Index: index, Sharding: sharding, Replicas: replicas},
+		Config: wire.RegionConfig{Mode: mode, Vaults: vaults, Index: index, Sharding: sharding, Replicas: replicas, Storage: storage},
 	}); err != nil {
 		return err
 	}

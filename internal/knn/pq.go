@@ -236,6 +236,36 @@ func (e *PQEngine) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]topk.Res
 }
 
 func (e *PQEngine) search(q []float32, k int, sp *obs.Span, forceSerial bool) ([]topk.Result, Stats) {
+	cands, st := e.adcCandidates(q, k, sp, forceSerial)
+	if e.rerank == 0 {
+		return cands, st
+	}
+	// Exact re-rank: re-score every ADC candidate under the true
+	// metric over the retained float32 rows. Selector admission is
+	// push-order independent, so the result is a pure function of the
+	// candidate set — and with rerank >= n the candidate set is the
+	// whole database, making results bit-identical to the exact scan.
+	sel := topk.New(k)
+	for _, c := range cands {
+		d := vec.Distance(e.metric, q, e.Row(c.ID))
+		st.DistEvals++
+		st.Dims += e.dim
+		st.PQInserts++
+		if sel.Push(c.ID, d) {
+			st.PQKept++
+		}
+	}
+	e.counters.rerankEvals.Add(uint64(len(cands)))
+	return sel.Results(), st
+}
+
+// adcCandidates runs the query's table build and ADC scan, returning
+// the top-R candidates under ADC distance, R = max(k, rerank). It is
+// the shared front half of both the in-RAM search (re-rank against the
+// retained rows) and the tiered search (re-rank through the out-of-core
+// store): the candidate set depends only on the in-RAM codes, so the
+// two paths diverge strictly after this point.
+func (e *PQEngine) adcCandidates(q []float32, k int, sp *obs.Span, forceSerial bool) ([]topk.Result, Stats) {
 	if len(q) != e.dim {
 		panic("knn: query dimension mismatch")
 	}
@@ -268,27 +298,7 @@ func (e *PQEngine) search(q []float32, k int, sp *obs.Span, forceSerial bool) ([
 	st.Add(scanStats)
 	e.counters.tableBuilds.Add(1)
 	e.counters.codeEvals.Add(uint64(st.CodeEvals))
-
-	if e.rerank == 0 {
-		return cands, st
-	}
-	// Exact re-rank: re-score every ADC candidate under the true
-	// metric over the retained float32 rows. Selector admission is
-	// push-order independent, so the result is a pure function of the
-	// candidate set — and with rerank >= n the candidate set is the
-	// whole database, making results bit-identical to the exact scan.
-	sel := topk.New(k)
-	for _, c := range cands {
-		d := vec.Distance(e.metric, q, e.Row(c.ID))
-		st.DistEvals++
-		st.Dims += e.dim
-		st.PQInserts++
-		if sel.Push(c.ID, d) {
-			st.PQKept++
-		}
-	}
-	e.counters.rerankEvals.Add(uint64(len(cands)))
-	return sel.Results(), st
+	return cands, st
 }
 
 // scanRange runs the ADC kernel over global rows [lo, hi), walking the

@@ -120,6 +120,36 @@ func (s *Server) registerRegionMetrics(e *regionEntry) {
 				"ADC candidates re-scored at full precision, per region.", lbl,
 				func() uint64 { return qst().RerankEvals })
 		}
+		if e.cfg.Storage != nil {
+			// Storage-backed regions: page-cache counters. All zeros until
+			// the index is built (TieredStats reports ok=false before the
+			// store exists).
+			tst := func() ssam.TieredCounters { st, _ := region.TieredStats(); return st }
+			s.registry.CounterFunc("ssam_tier_reads_total",
+				"Backing-file reads, per region.", lbl,
+				func() uint64 { return tst().Reads })
+			s.registry.CounterFunc("ssam_tier_bytes_read_total",
+				"Bytes fetched from the backing file, per region.", lbl,
+				func() uint64 { return tst().BytesRead })
+			s.registry.CounterFunc("ssam_tier_cache_hits_total",
+				"Vector-page requests served from the resident cache, per region.", lbl,
+				func() uint64 { return tst().CacheHits })
+			s.registry.CounterFunc("ssam_tier_cache_misses_total",
+				"Vector-page requests that went to the backing file, per region.", lbl,
+				func() uint64 { return tst().CacheMisses })
+			s.registry.CounterFunc("ssam_tier_evictions_total",
+				"Vector pages evicted to fit the memory budget, per region.", lbl,
+				func() uint64 { return tst().Evictions })
+			s.registry.CounterFunc("ssam_tier_prefetch_hits_total",
+				"Cache hits on pages a prefetch brought in, per region.", lbl,
+				func() uint64 { return tst().PrefetchHits })
+			s.registry.CounterFunc("ssam_tier_stalls_total",
+				"Waits behind another reader's in-flight page load, per region.", lbl,
+				func() uint64 { return tst().Stalls })
+			s.registry.GaugeFunc("ssam_tier_resident_bytes",
+				"Vector-page bytes currently resident, per region.", lbl,
+				func() float64 { return float64(tst().ResidentBytes) })
+		}
 		mst := func() ssam.MutationStats { st, _ := region.MutationStats(); return st }
 		s.registry.GaugeFunc("ssam_region_mutation_seq",
 			"Last committed mutation sequence number, per region.", lbl,

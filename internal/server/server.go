@@ -335,6 +335,13 @@ func toConfig(wc wire.RegionConfig) (ssam.Config, error) {
 	cfg.Workers = wc.Workers
 	cfg.Vaults = wc.Vaults
 	cfg.Index = ssam.IndexParams(wc.Index)
+	if wc.Storage != nil {
+		cfg.Storage = &ssam.Storage{
+			Path:        wc.Storage.Path,
+			BudgetBytes: wc.Storage.BudgetBytes,
+			Prefetch:    wc.Storage.Prefetch,
+		}
+	}
 	return cfg, nil
 }
 
@@ -871,6 +878,19 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 					TableBuilds: qst.TableBuilds,
 					CodeEvals:   qst.CodeEvals,
 					RerankEvals: qst.RerankEvals,
+				}
+			}
+			if tst, ok := region.TieredStats(); ok {
+				rs.Tiered = &wire.TieredStats{
+					Reads:         tst.Reads,
+					BytesRead:     tst.BytesRead,
+					CacheHits:     tst.CacheHits,
+					CacheMisses:   tst.CacheMisses,
+					Evictions:     tst.Evictions,
+					PrefetchHits:  tst.PrefetchHits,
+					Stalls:        tst.Stalls,
+					ResidentBytes: tst.ResidentBytes,
+					BudgetBytes:   tst.BudgetBytes,
 				}
 			}
 		}

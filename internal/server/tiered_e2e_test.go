@@ -1,0 +1,197 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ssam"
+	"ssam/internal/client"
+	"ssam/internal/server"
+	"ssam/internal/server/wire"
+)
+
+// TestTieredRegionEndToEnd drives a storage-backed region through the
+// full client → server → region path: the storage block must survive
+// the wire, the served answers must equal a direct in-process region
+// holding everything in RAM (the bit-exactness contract), and the
+// storage tier's cache counters must show up in /statsz and /metrics.
+// The budget is a tenth of the dataset, so the server is genuinely
+// evicting and re-reading pages while it serves.
+func TestTieredRegionEndToEnd(t *testing.T) {
+	const (
+		n, dim = 600, 16
+		k      = 5
+		nq     = 16
+	)
+	rows, queries := testData(n, nq, dim)
+
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := client.New(ts.URL, client.WithTimeout(time.Minute))
+
+	cfg := wire.RegionConfig{
+		Vaults: 4,
+		Storage: &wire.StorageConfig{
+			Path:        filepath.Join(t.TempDir(), "big.tier"),
+			BudgetBytes: n * dim * 4 / 10,
+			Prefetch:    true,
+		},
+	}
+	if _, err := c.CreateRegion(ctx, "big", dim, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(ctx, "big", rows); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Build(ctx, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Built || info.Len != n {
+		t.Fatalf("post-build info: %+v", info)
+	}
+	if got := info.Config.Storage; got == nil || got.BudgetBytes != cfg.Storage.BudgetBytes || !got.Prefetch {
+		t.Fatalf("storage config did not survive the wire: %+v", got)
+	}
+
+	direct, err := ssam.New(dim, ssam.Config{Vaults: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Free()
+	if err := direct.LoadFloat32(flatten(rows)); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, q := range queries {
+		served, err := c.Search(ctx, "big", q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(served) != len(want) {
+			t.Fatalf("query %d: served %d results, want %d", i, len(served), len(want))
+		}
+		for j := range want {
+			if served[j].ID != want[j].ID || served[j].Distance != want[j].Dist {
+				t.Fatalf("query %d rank %d: served %+v, want %+v", i, j, served[j], want[j])
+			}
+		}
+	}
+
+	// Batch path through the same region.
+	batch, err := c.SearchBatch(ctx, "big", queries[:8], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range batch {
+		if len(row) != k {
+			t.Fatalf("batch row %d: %d results", i, len(row))
+		}
+	}
+
+	// /statsz carries the storage-tier block, and with a 1/10 budget
+	// over 4 vault pages the scans must have missed and evicted.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := st.Regions["big"]
+	if !ok {
+		t.Fatalf("region missing from /statsz: %+v", st.Regions)
+	}
+	if rs.Tiered == nil {
+		t.Fatal("statsz tiered block missing for a storage-backed region")
+	}
+	if rs.Tiered.Reads == 0 || rs.Tiered.BytesRead == 0 {
+		t.Errorf("tiered block shows no backing reads: %+v", rs.Tiered)
+	}
+	if rs.Tiered.CacheMisses == 0 {
+		t.Errorf("a 1/10 budget produced no cache misses: %+v", rs.Tiered)
+	}
+	if rs.Tiered.BudgetBytes != cfg.Storage.BudgetBytes {
+		t.Errorf("budget = %d, want %d", rs.Tiered.BudgetBytes, cfg.Storage.BudgetBytes)
+	}
+
+	// /metrics exposes the same counters as ssam_tier_* series.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, series := range []string{
+		`ssam_tier_reads_total{region="big"}`,
+		`ssam_tier_bytes_read_total{region="big"}`,
+		`ssam_tier_cache_hits_total{region="big"}`,
+		`ssam_tier_cache_misses_total{region="big"}`,
+		`ssam_tier_evictions_total{region="big"}`,
+		`ssam_tier_prefetch_hits_total{region="big"}`,
+		`ssam_tier_stalls_total{region="big"}`,
+		`ssam_tier_resident_bytes{region="big"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	if err := c.Free(ctx, "big"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTieredRegionWireRejections pins server-side rejection of
+// storage configs the wire layer lets through but the region cannot
+// serve (mode restrictions surface at create).
+func TestTieredRegionWireRejections(t *testing.T) {
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := client.New(ts.URL, client.WithTimeout(time.Minute))
+
+	_, err := c.CreateRegion(ctx, "bad", 8, wire.RegionConfig{
+		Mode:    "graph",
+		Storage: &wire.StorageConfig{Path: filepath.Join(t.TempDir(), "x.tier")},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Linear and Quantized") {
+		t.Fatalf("graph+storage create = %v, want mode rejection", err)
+	}
+
+	// A storage-backed region refuses writes with a clear error.
+	if _, err := c.CreateRegion(ctx, "ro", 8, wire.RegionConfig{
+		Storage: &wire.StorageConfig{Path: filepath.Join(t.TempDir(), "ro.tier")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := testData(64, 1, 8)
+	if _, err := c.Load(ctx, "ro", rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build(ctx, "ro"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Upsert(ctx, "ro", []int{0}, rows[:1]); err == nil {
+		t.Fatal("upsert on a storage-backed region succeeded")
+	}
+}

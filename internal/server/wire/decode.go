@@ -87,6 +87,17 @@ func DecodeCreateRegion(data []byte) (CreateRegionRequest, error) {
 			}
 		}
 	}
+	if st := req.Config.Storage; st != nil {
+		if req.Config.Sharding != nil || req.Config.Replicas != nil {
+			return CreateRegionRequest{}, errors.New("wire: storage cannot be combined with sharding or replicas")
+		}
+		if st.BudgetBytes < 0 {
+			return CreateRegionRequest{}, fmt.Errorf("wire: storage.budget_bytes must be non-negative, got %d", st.BudgetBytes)
+		}
+		if st.Path == "" && req.Config.Execution != "device" {
+			return CreateRegionRequest{}, errors.New("wire: storage.path required for host execution")
+		}
+	}
 	return req, nil
 }
 

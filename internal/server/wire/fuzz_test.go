@@ -25,6 +25,12 @@ func FuzzDecodeRequests(f *testing.F) {
 		{'c', `{"name":"pq","dims":64,"config":{"mode":"quantized","index":{"m":8,"sample":4096,"rerank":100,"seed":5}}}`},
 		{'c', `{"name":"pqd","dims":32,"config":{"mode":"quantized","execution":"device","metric":"cosine","index":{"rerank":50}}}`},
 		{'c', `{"name":"pqt","dims":16,"config":{"mode":"quantized","index":{"rerank":-1,"samle":2}}}`},
+		{'c', `{"name":"big","dims":64,"config":{"storage":{"path":"/tmp/big.tier","budget_bytes":1048576,"prefetch":true}}}`},
+		{'c', `{"name":"bigpq","dims":64,"config":{"mode":"quantized","storage":{"path":"/tmp/bigpq.tier","budget_bytes":4096},"index":{"m":8,"rerank":100}}}`},
+		{'c', `{"name":"bigdev","dims":32,"config":{"execution":"device","storage":{"budget_bytes":65536}}}`},
+		{'c', `{"name":"bad","dims":8,"config":{"storage":{"path":"x","budget_bytes":-1}}}`},
+		{'c', `{"name":"bad2","dims":8,"config":{"storage":{}}}`},
+		{'c', `{"name":"bad3","dims":8,"config":{"storage":{"path":"x"},"sharding":{"shards":2}}}`},
 		{'c', `{"name":"","dims":0}`},
 		{'c', `{"name":"x","dims":3,"config":{"sharding":{"shards":-1}}}`},
 		{'l', `{"vectors":[[1,2,3],[4,5,6]]}`},

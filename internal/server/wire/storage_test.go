@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// The storage block of a create request is validated at the wire
+// boundary: unknown fields, negative budgets, and a missing path (for
+// host execution) must be rejected before a region is ever allocated.
+
+func TestCreateRegionStorageDecode(t *testing.T) {
+	body := `{"name":"big","dims":64,"config":{
+		"mode":"quantized",
+		"storage":{"path":"/data/big.tier","budget_bytes":1048576,"prefetch":true},
+		"index":{"m":8,"rerank":100}}}`
+	req, err := DecodeCreateRegion([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := req.Config.Storage
+	if st == nil {
+		t.Fatal("storage block lost in decode")
+	}
+	if st.Path != "/data/big.tier" || st.BudgetBytes != 1<<20 || !st.Prefetch {
+		t.Fatalf("storage block decoded as %+v", st)
+	}
+}
+
+func TestCreateRegionStorageRejections(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{
+			"unknown field",
+			`{"name":"x","dims":8,"config":{"storage":{"path":"p","budget_byte":1}}}`,
+			"unknown field",
+		},
+		{
+			"negative budget",
+			`{"name":"x","dims":8,"config":{"storage":{"path":"p","budget_bytes":-1}}}`,
+			"budget_bytes",
+		},
+		{
+			"missing path on host",
+			`{"name":"x","dims":8,"config":{"storage":{"budget_bytes":1}}}`,
+			"storage.path",
+		},
+		{
+			"storage plus sharding",
+			`{"name":"x","dims":8,"config":{"storage":{"path":"p"},"sharding":{"shards":2}}}`,
+			"sharding or replicas",
+		},
+		{
+			"storage plus replicas",
+			`{"name":"x","dims":8,"config":{"storage":{"path":"p"},"replicas":{"replicas":2}}}`,
+			"sharding or replicas",
+		},
+	}
+	for _, c := range cases {
+		_, err := DecodeCreateRegion([]byte(c.body))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+	// Device execution prices storage analytically; no path needed.
+	if _, err := DecodeCreateRegion([]byte(
+		`{"name":"x","dims":8,"config":{"execution":"device","storage":{"budget_bytes":1}}}`)); err != nil {
+		t.Errorf("device without path rejected: %v", err)
+	}
+}
+
+// StorageConfig must mirror ssam.Storage field for field; the server
+// converts explicitly, so this pins the wire block's shape instead of
+// a struct conversion. A round trip through JSON must preserve it.
+func TestStorageConfigRoundTrip(t *testing.T) {
+	body := `{"name":"x","dims":8,"config":{"execution":"device","storage":{"budget_bytes":42,"prefetch":true}}}`
+	req, err := DecodeCreateRegion([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Config.Storage.Path != "" || req.Config.Storage.BudgetBytes != 42 || !req.Config.Storage.Prefetch {
+		t.Fatalf("decoded %+v", req.Config.Storage)
+	}
+}

@@ -31,6 +31,23 @@ type RegionConfig struct {
 	// set) behind power-of-two-choices routing with hedged reads,
 	// transparent failover, and zero-downtime generational reload.
 	Replicas *ReplicasConfig `json:"replicas,omitempty"`
+	// Storage, when present, backs the region's vectors with a file
+	// behind a budgeted page cache (out-of-core serving, linear and
+	// quantized modes only). Not combinable with Sharding or Replicas.
+	Storage *StorageConfig `json:"storage,omitempty"`
+}
+
+// StorageConfig configures out-of-core backing at create time,
+// mirroring ssam.Storage.
+type StorageConfig struct {
+	// Path is the server-local backing file, written at build time.
+	// Required for host execution; optional for device execution,
+	// where the storage tier is priced analytically.
+	Path string `json:"path,omitempty"`
+	// BudgetBytes caps resident vector-page bytes (0 = unlimited).
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// Prefetch overlaps the next vault's read with the current scan.
+	Prefetch bool `json:"prefetch,omitempty"`
 }
 
 // ReplicasConfig configures a replicated region at create time.
@@ -267,6 +284,23 @@ type RegionStats struct {
 	// Quantized holds the PQ engine's work counters, present only for
 	// built quantized-mode regions.
 	Quantized *QuantizedStats `json:"quantized,omitempty"`
+	// Tiered holds the storage tier's cache counters, present only for
+	// built storage-backed regions.
+	Tiered *TieredStats `json:"tiered,omitempty"`
+}
+
+// TieredStats is the storage-tier block of a region's stats:
+// cumulative page-cache counters since build.
+type TieredStats struct {
+	Reads         uint64 `json:"reads"`          // backing-file reads
+	BytesRead     uint64 `json:"bytes_read"`     // bytes fetched from the file
+	CacheHits     uint64 `json:"cache_hits"`     // page requests served resident
+	CacheMisses   uint64 `json:"cache_misses"`   // page requests that went to the file
+	Evictions     uint64 `json:"evictions"`      // pages dropped to fit the budget
+	PrefetchHits  uint64 `json:"prefetch_hits"`  // hits on pages a prefetch brought in
+	Stalls        uint64 `json:"stalls"`         // waits behind another reader's in-flight load
+	ResidentBytes int64  `json:"resident_bytes"` // cache residency right now
+	BudgetBytes   int64  `json:"budget_bytes"`   // configured cap (0 = unlimited)
 }
 
 // QuantizedStats is the quantized-engine block of a region's stats:

@@ -127,7 +127,7 @@ func (pi *PQIndex) model(st knn.Stats) QueryStats {
 	vecInsts := uint64(tableLanes/vl)*3 +
 		uint64(float64(st.CodeEvals*m)/vl)*2 +
 		uint64(st.DistEvals)*chunks*3
-	return QueryStats{
+	return d.applyStorage(QueryStats{
 		Cycles:       cycles,
 		Seconds:      float64(cycles) / clock,
 		Instructions: vecInsts + uint64(st.PQInserts),
@@ -140,5 +140,5 @@ func (pi *PQIndex) model(st knn.Stats) QueryStats {
 			uint64(st.DistEvals)*uint64(d.padded)*4,
 		PQInserts: uint64(st.PQInserts),
 		PUs:       len(d.slices),
-	}
+	})
 }

@@ -60,7 +60,8 @@ type Device struct {
 
 	slices      []puSlice // one per processing unit, all vaults
 	pusPerVault int
-	cyclesPer   float64 // calibrated cycles per scanned vector per PU
+	storage     *StorageConfig // modeled flash tier (storagedev.go), nil = all-DRAM
+	cyclesPer   float64        // calibrated cycles per scanned vector per PU
 	progCache   map[int][]isa.Inst
 	progMu      sync.Mutex
 }
@@ -81,6 +82,12 @@ type QueryStats struct {
 	DRAMBytesRead uint64
 	PQInserts     uint64
 	PUs           int
+	// Storage tier (attached via AttachStorage; zero otherwise): bytes
+	// fetched from modeled flash, page requests served from the
+	// device-side cache, and channel-array waves the scan stalled on.
+	StorageBytesRead uint64
+	StorageCacheHits uint64
+	StorageStalls    uint64
 }
 
 // Throughput returns queries/second at the device clock.
@@ -420,6 +427,7 @@ func (d *Device) run(query []int32, k int) ([]topk.Result, QueryStats, error) {
 		st.PQInserts += s.PQInserts
 	}
 	st.Seconds = float64(st.Cycles) / d.cfg.PU.ClockHz
+	st = d.applyStorage(st)
 	return topk.Merge(k, lists...), st, nil
 }
 

@@ -1,0 +1,138 @@
+package ssamdev
+
+import "fmt"
+
+// Storage models a flash tier behind the module's vault DRAM — the
+// ann_in_ssd arrangement, where the dataset lives on the SSD's NAND
+// and only a budgeted fraction stays cached in device DRAM. The model
+// is analytic, like the PQ and graph mappings: neighbors are
+// unaffected (the same bytes are eventually delivered), only the
+// reported QueryStats grow a storage component.
+//
+// Per query, the bytes the scan reads split by the cache fraction
+// budget/dataset into DRAM hits and flash misses. Misses are fetched
+// in PageBytes units across Channels independent channels, each
+// sustaining QueueDepth outstanding reads: the channel array completes
+// ceil(missPages / (Channels*QueueDepth)) "waves", each paying
+// ReadLatency once (the ann_in_ssd channel-level parallelism model),
+// while the data itself streams at Bandwidth. With Prefetch the
+// transfer overlaps the compute the scan is doing anyway, so only the
+// excess — plus one latency to fill the pipeline — stalls the query;
+// without it the scan waits for the full storage time.
+type StorageConfig struct {
+	// Channels is the number of independent flash channels and
+	// QueueDepth the outstanding reads each sustains.
+	Channels   int
+	QueueDepth int
+	// ReadLatency is the per-read flash access latency in seconds and
+	// Bandwidth the aggregate internal bandwidth in bytes/second.
+	ReadLatency float64
+	Bandwidth   float64
+	// PageBytes is the flash read unit.
+	PageBytes int
+	// BudgetBytes caps the device-DRAM cache (0 = whole dataset
+	// resident, storage only pays the compulsory fill, modeled as free
+	// steady-state).
+	BudgetBytes int64
+	// Prefetch overlaps flash reads with the scan's compute.
+	Prefetch bool
+}
+
+// DefaultStorageConfig returns the mid-grade ann_in_ssd device point:
+// 8 channels at queue depth 64, 60us reads, 6 GB/s internal bandwidth,
+// 16 KiB pages.
+func DefaultStorageConfig() StorageConfig {
+	return StorageConfig{
+		Channels:    8,
+		QueueDepth:  64,
+		ReadLatency: 60e-6,
+		Bandwidth:   6e9,
+		PageBytes:   16 << 10,
+	}
+}
+
+// AttachStorage puts the device's dataset behind a modeled storage
+// tier. Zero-valued geometry fields take the DefaultStorageConfig
+// values; negative values are rejected.
+func (d *Device) AttachStorage(cfg StorageConfig) error {
+	def := DefaultStorageConfig()
+	if cfg.Channels == 0 {
+		cfg.Channels = def.Channels
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = def.QueueDepth
+	}
+	if cfg.ReadLatency == 0 {
+		cfg.ReadLatency = def.ReadLatency
+	}
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = def.Bandwidth
+	}
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = def.PageBytes
+	}
+	if cfg.Channels < 0 || cfg.QueueDepth < 0 || cfg.ReadLatency < 0 ||
+		cfg.Bandwidth < 0 || cfg.PageBytes < 0 {
+		return fmt.Errorf("ssamdev: storage geometry must be non-negative: %+v", cfg)
+	}
+	if cfg.BudgetBytes < 0 {
+		return fmt.Errorf("ssamdev: storage budget must be non-negative, got %d", cfg.BudgetBytes)
+	}
+	d.storage = &cfg
+	return nil
+}
+
+// Storage returns the attached storage model, or nil.
+func (d *Device) Storage() *StorageConfig { return d.storage }
+
+// DatasetBytes is the logical dataset size the storage tier holds:
+// full-precision rows for float devices, packed words for Hamming.
+func (d *Device) DatasetBytes() uint64 {
+	return uint64(d.n) * uint64(d.dim) * 4
+}
+
+// applyStorage folds the storage tier into one query's stats. The
+// scan read st.DRAMBytesRead from vault DRAM; the cache fraction
+// budget/dataset of those bytes were resident, the rest came off
+// flash first. No-op without attached storage.
+func (d *Device) applyStorage(st QueryStats) QueryStats {
+	s := d.storage
+	if s == nil {
+		return st
+	}
+	total := st.DRAMBytesRead
+	hitFrac := 1.0
+	if ds := d.DatasetBytes(); s.BudgetBytes > 0 && uint64(s.BudgetBytes) < ds {
+		hitFrac = float64(s.BudgetBytes) / float64(ds)
+	}
+	missBytes := uint64(float64(total) * (1 - hitFrac))
+	pageB := uint64(s.PageBytes)
+	totalPages := (total + pageB - 1) / pageB
+	missPages := (missBytes + pageB - 1) / pageB
+	st.StorageBytesRead = missBytes
+	st.StorageCacheHits = totalPages - missPages
+	if missPages == 0 {
+		return st
+	}
+
+	waves := (missPages + uint64(s.Channels*s.QueueDepth) - 1) / uint64(s.Channels*s.QueueDepth)
+	storageSec := float64(missBytes)/s.Bandwidth + float64(waves)*s.ReadLatency
+	stallSec := storageSec
+	if s.Prefetch {
+		// The transfer hides behind the compute already accounted in
+		// st.Seconds; only the excess plus the pipeline-fill latency
+		// stalls the query. Prefetching never loses to blocking reads,
+		// so the stall is capped at the blocking storage time.
+		over := storageSec - st.Seconds
+		if over < 0 {
+			over = 0
+		}
+		if ps := over + s.ReadLatency; ps < stallSec {
+			stallSec = ps
+		}
+	}
+	st.StorageStalls = waves
+	st.Seconds += stallSec
+	st.Cycles += uint64(stallSec * d.cfg.PU.ClockHz)
+	return st
+}

@@ -1,0 +1,178 @@
+package tier
+
+// Fault injection for the storage tier: the contract under test is
+// that a degraded or failing backing store surfaces as a typed error —
+// never as wrong data — and that eviction under concurrent traffic
+// never lets a reader keep an evicted page (proved with a poisoned-page
+// double: evicted slices are overwritten with NaN, so any
+// use-after-evict would corrupt a visible row).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReadHookErrorIsTyped(t *testing.T) {
+	s := mustCreate(t, testData(40, 4, 20), 4, 4, Options{})
+	boom := errors.New("injected io failure")
+	s.SetReadHook(func(vault int) error {
+		if vault == 2 {
+			return boom
+		}
+		return nil
+	})
+	if pg, err := s.Acquire(1); err != nil {
+		t.Fatalf("healthy vault: %v", err)
+	} else {
+		pg.Release()
+	}
+	_, err := s.Acquire(2)
+	var re *ReadError
+	if !errors.As(err, &re) {
+		t.Fatalf("Acquire(2) = %v, want *ReadError", err)
+	}
+	if re.Vault != 2 || !errors.Is(err, boom) {
+		t.Fatalf("ReadError = %+v, want vault 2 wrapping the injected error", re)
+	}
+	// A failed load must not leave a stuck loading entry: clearing the
+	// fault makes the same vault readable again.
+	s.SetReadHook(nil)
+	pg, err := s.Acquire(2)
+	if err != nil {
+		t.Fatalf("Acquire(2) after clearing the fault: %v", err)
+	}
+	pg.Release()
+}
+
+func TestConcurrentAcquireOfFailingVault(t *testing.T) {
+	s := mustCreate(t, testData(40, 4, 21), 4, 2, Options{})
+	s.SetReadHook(func(int) error { return errors.New("dead device") })
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, errs[g] = s.Acquire(0)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		var re *ReadError
+		if !errors.As(err, &re) {
+			t.Fatalf("goroutine %d: err = %v, want *ReadError", g, err)
+		}
+	}
+}
+
+func TestSlowReadSurfacesAsTypedError(t *testing.T) {
+	path := t.TempDir() + "/slow.dat"
+	if err := WriteFile(path, testData(40, 4, 22), 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, Options{ReadTimeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Fake clock: each read of vault 3 "takes" 50ms; everything else is
+	// instantaneous. The hook advances the clock, the store measures it.
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	s.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	s.SetReadHook(func(vault int) error {
+		if vault == 3 {
+			mu.Lock()
+			now = now.Add(50 * time.Millisecond)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if pg, err := s.Acquire(0); err != nil {
+		t.Fatalf("fast vault: %v", err)
+	} else {
+		pg.Release()
+	}
+	_, err = s.Acquire(3)
+	var se *SlowReadError
+	if !errors.As(err, &se) {
+		t.Fatalf("Acquire(3) = %v, want *SlowReadError", err)
+	}
+	if se.Vault != 3 || se.Elapsed != 50*time.Millisecond || se.Limit != 5*time.Millisecond {
+		t.Fatalf("SlowReadError = %+v, want vault 3, 50ms elapsed, 5ms limit", se)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	re := &ReadError{Vault: 7, Err: errors.New("eio")}
+	if re.Error() == "" || re.Unwrap() == nil {
+		t.Fatal("ReadError must format and unwrap")
+	}
+	se := &SlowReadError{Vault: 7, Elapsed: time.Second, Limit: time.Millisecond}
+	if se.Error() == "" {
+		t.Fatal("SlowReadError must format")
+	}
+}
+
+// TestEvictionSoakNoUseAfterEvict hammers a store whose budget holds
+// only one of four pages from many goroutines while the eviction hook
+// poisons every dropped page with NaN. Every row read through a pinned
+// page must still match the source data: a scan holding a page across
+// its own eviction would observe the poison.
+func TestEvictionSoakNoUseAfterEvict(t *testing.T) {
+	const n, dim, vaults = 64, 4, 4
+	data := testData(n, dim, 23)
+	s := mustCreate(t, data, dim, vaults, Options{BudgetBytes: n / vaults * dim * 4})
+	nan := float32(math.NaN())
+	s.SetEvictHook(func(vault int, page []float32) {
+		for i := range page {
+			page[i] = nan
+		}
+	})
+	const goroutines, iters = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				v := (g + it) % vaults
+				pg, err := s.Acquire(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				lo, hi := pg.Rows()
+				for i := lo; i < hi; i++ {
+					row := pg.Row(i)
+					for j, got := range row {
+						if want := data[i*dim+j]; got != want {
+							errs <- fmt.Errorf("vault %d row %d dim %d = %v, want %v (use-after-evict?)",
+								v, i, j, got, want)
+							pg.Release()
+							return
+						}
+					}
+				}
+				pg.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c := s.Counters(); c.Evictions == 0 {
+		t.Fatal("soak produced no evictions; the budget is not forcing turnover")
+	}
+}

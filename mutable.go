@@ -201,6 +201,12 @@ func (r *Region) migrate() (*regionStore, error) {
 	if r.cfg.Mode != Linear {
 		return nil, ErrImmutableEngine
 	}
+	if r.cfg.Storage != nil {
+		// Storage-backed regions are immutable: the backing file is the
+		// dataset, and the RCU store has no out-of-core write path yet
+		// (see ROADMAP follow-ups).
+		return nil, fmt.Errorf("%w: storage-backed region", ErrImmutableEngine)
+	}
 	if !r.built {
 		return nil, errors.New("ssam: mutation before BuildIndex")
 	}

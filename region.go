@@ -14,6 +14,7 @@ import (
 	"ssam/internal/lsh"
 	"ssam/internal/obs"
 	"ssam/internal/ssamdev"
+	"ssam/internal/tier"
 	"ssam/internal/topk"
 	"ssam/internal/vec"
 )
@@ -65,6 +66,14 @@ type Region struct {
 	mplsh    *lsh.Index
 	graphIdx *graph.Index
 	pqEng    *knn.PQEngine
+
+	// Out-of-core serving (cfg.Storage != nil): store is the backing
+	// file's page cache, tiered/tieredPQ the engines scanning through
+	// it. After BuildIndex the full-precision rows live only in the
+	// store — r.data is released.
+	store    *tier.Store
+	tiered   *knn.TieredEngine
+	tieredPQ *knn.TieredPQEngine
 
 	// Simulated device (Device execution) and its on-device indexes.
 	device    *ssamdev.Device
@@ -135,6 +144,20 @@ func New(dims int, cfg Config) (*Region, error) {
 	if cfg.Index.Rerank < 0 {
 		return nil, fmt.Errorf("ssam: rerank must be non-negative, got %d", cfg.Index.Rerank)
 	}
+	if cfg.Storage != nil {
+		if cfg.Mode != Linear && cfg.Mode != Quantized {
+			return nil, fmt.Errorf("ssam: storage-backed regions support Linear and Quantized modes, not %v", cfg.Mode)
+		}
+		if cfg.Metric == Hamming {
+			return nil, errors.New("ssam: storage-backed regions do not support the Hamming metric")
+		}
+		if cfg.Storage.BudgetBytes < 0 {
+			return nil, fmt.Errorf("ssam: storage budget must be non-negative, got %d", cfg.Storage.BudgetBytes)
+		}
+		if cfg.Storage.Path == "" && cfg.Execution == Host {
+			return nil, errors.New("ssam: storage path required for Host execution")
+		}
+	}
 	return &Region{cfg: cfg, dims: dims}, nil
 }
 
@@ -149,6 +172,9 @@ func (r *Region) Len() int {
 	}
 	if r.codes != nil {
 		return len(r.codes)
+	}
+	if r.data == nil && r.store != nil {
+		return r.store.Rows()
 	}
 	return len(r.data) / r.dims
 }
@@ -224,6 +250,18 @@ func (r *Region) BuildIndex() error {
 		if err != nil {
 			return err
 		}
+		if r.cfg.Storage != nil {
+			// The device serves the dataset from modeled flash behind its
+			// vault DRAM: the analytic storage tier prices cold reads with
+			// the ann_in_ssd channel/latency/bandwidth parameters while the
+			// budget sets the device-side cache fraction.
+			scfg := ssamdev.DefaultStorageConfig()
+			scfg.BudgetBytes = r.cfg.Storage.BudgetBytes
+			scfg.Prefetch = r.cfg.Storage.Prefetch
+			if err := r.device.AttachStorage(scfg); err != nil {
+				return err
+			}
+		}
 		leaf := ip.LeafSize
 		if leaf <= 0 {
 			leaf = 8
@@ -286,6 +324,12 @@ func (r *Region) BuildIndex() error {
 	case Linear:
 		if r.cfg.Metric == Hamming {
 			r.hamming = knn.NewHammingEngine(r.codes, r.cfg.Vaults)
+		} else if r.cfg.Storage != nil {
+			if err := r.buildStore(); err != nil {
+				return err
+			}
+			r.tiered = knn.NewTieredEngine(r.store, r.cfg.Metric.toVec())
+			r.data = nil // rows live in the backing file now
 		} else {
 			r.linear = knn.NewEngineVaults(r.data, r.dims, r.cfg.Metric.toVec(), workers, r.cfg.Vaults)
 		}
@@ -338,14 +382,53 @@ func (r *Region) BuildIndex() error {
 		r.graphIdx = graph.Build(r.data, r.dims, ip.graphParams())
 	case Quantized:
 		var err error
-		r.pqEng, err = knn.NewPQEngineVaults(r.data, r.dims, r.cfg.Metric.toVec(), ip.pqParams(), workers, r.cfg.Vaults)
-		if err != nil {
-			return err
+		if r.cfg.Storage != nil {
+			// Codebook training needs the float rows, so a rebuild after
+			// they moved out of core requires a reload first.
+			if r.data == nil {
+				return errors.New("ssam: rebuilding a storage-backed quantized region requires a reload")
+			}
+			if err := r.buildStore(); err != nil {
+				return err
+			}
+			r.tieredPQ, err = knn.NewTieredPQEngine(r.data, r.dims, r.cfg.Metric.toVec(), ip.pqParams(), workers, r.cfg.Vaults, r.store)
+			if err != nil {
+				return err
+			}
+			r.data = nil // codes stay resident; full-precision rows do not
+		} else {
+			r.pqEng, err = knn.NewPQEngineVaults(r.data, r.dims, r.cfg.Metric.toVec(), ip.pqParams(), workers, r.cfg.Vaults)
+			if err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("ssam: unknown mode %v", r.cfg.Mode)
 	}
 	r.built = true
+	return nil
+}
+
+// buildStore writes the backing file from the loaded rows and opens
+// its budgeted page cache. A rebuild with the rows already released
+// (r.data == nil) reuses the existing store: the file is the dataset.
+func (r *Region) buildStore() error {
+	if r.store != nil {
+		if r.data == nil {
+			return nil
+		}
+		// A reload preceded this rebuild: the file is stale, rewrite it.
+		r.store.Close()
+		r.store, r.tiered, r.tieredPQ = nil, nil, nil
+	}
+	st, err := tier.Create(r.cfg.Storage.Path, r.data, r.dims, knn.ResolveVaults(r.cfg.Vaults), tier.Options{
+		BudgetBytes: r.cfg.Storage.BudgetBytes,
+		Prefetch:    r.cfg.Storage.Prefetch,
+	})
+	if err != nil {
+		return err
+	}
+	r.store = st
 	return nil
 }
 
@@ -372,6 +455,8 @@ func (r *Region) SetChecks(n int) error {
 	case r.pqEng != nil:
 		// Host and Device share the engine, so one retarget covers both.
 		r.pqEng.SetRerank(n)
+	case r.tieredPQ != nil:
+		r.tieredPQ.SetRerank(n)
 	case r.devTree != nil || r.devKMTree != nil:
 		r.devChecks = n
 	default:
@@ -469,6 +554,14 @@ func (r *Region) Exec(k int) error {
 	switch {
 	case r.hamming != nil:
 		r.lastRes = r.hamming.Search(r.queryBin, k)
+	case r.tiered != nil || r.tieredPQ != nil:
+		// Tiered engines can fail (backing reads), so Exec routes
+		// through the error-returning search path.
+		res, _, err := r.SearchStats(r.query, k)
+		if err != nil {
+			return err
+		}
+		r.lastRes = res
 	case r.linear != nil:
 		r.lastRes = r.linear.Search(r.query, k)
 	case r.forest != nil:
@@ -562,6 +655,41 @@ func (r *Region) SearchStatsSpan(q []float32, k int, sp *obs.Span) ([]Result, De
 		}
 		r.lastStats = toDeviceStats(st)
 		return res, r.lastStats, nil
+	}
+	if r.tiered != nil {
+		// The tiered engine scans vault pages through the storage cache;
+		// each page shows up as a "vault" child tagged tier_hit, so a
+		// sampled trace distinguishes cached from cold scans.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "mode", Value: "tiered"},
+			obs.Tag{Key: "vaults", Value: r.tiered.Vaults()})
+		res, _, err := r.tiered.SearchStatsSpan(q, k, esp)
+		esp.End()
+		if err != nil {
+			return nil, DeviceStats{}, err
+		}
+		return res, DeviceStats{}, nil
+	}
+	if r.tieredPQ != nil {
+		// ADC scans the resident codes; only the exact re-rank touches
+		// the storage cache, grouped by vault page.
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "mode", Value: "tiered-quantized"},
+			obs.Tag{Key: "m", Value: r.tieredPQ.M()},
+			obs.Tag{Key: "rerank", Value: r.tieredPQ.Rerank()},
+			obs.Tag{Key: "vaults", Value: r.tieredPQ.Vaults()})
+		res, st, err := r.tieredPQ.SearchStatsSpan(q, k, esp)
+		if esp != nil && err == nil {
+			esp.SetTag("code_evals", st.CodeEvals)
+			esp.SetTag("rerank_evals", st.DistEvals)
+		}
+		esp.End()
+		if err != nil {
+			return nil, DeviceStats{}, err
+		}
+		return res, DeviceStats{}, nil
 	}
 	if r.linear != nil {
 		// The linear engine is vault-parallel: hand it the exec span so
@@ -754,11 +882,45 @@ func (r *Region) SearchBatchSpan(qs [][]float32, k int, sp *obs.Span) ([][]Resul
 			agg.VectorInstructions += st.VectorInsts
 			agg.DRAMBytesRead += st.DRAMBytesRead
 			agg.ProcessingUnits = st.PUs
+			agg.StorageBytesRead += st.StorageBytesRead
+			agg.StorageCacheHits += st.StorageCacheHits
+			agg.StorageStalls += st.StorageStalls
 		}
 		r.lastStats = agg
 		return out, nil
 	}
 
+	if r.tiered != nil || r.tieredPQ != nil {
+		// Tiered engines serve batches sequentially — each query's scan
+		// already overlaps storage reads with compute, and a failed
+		// backing read aborts the batch as a *BatchError naming the
+		// query, keeping the results computed before it.
+		mode := "tiered"
+		vaults := 0
+		if r.tiered != nil {
+			vaults = r.tiered.Vaults()
+		} else {
+			mode = "tiered-quantized"
+			vaults = r.tieredPQ.Vaults()
+		}
+		esp := sp.Start("exec",
+			obs.Tag{Key: "execution", Value: "host"},
+			obs.Tag{Key: "mode", Value: mode},
+			obs.Tag{Key: "batch", Value: len(qs)},
+			obs.Tag{Key: "vaults", Value: vaults})
+		defer esp.End()
+		var failedAt int
+		var err error
+		if r.tiered != nil {
+			out, failedAt, err = r.tiered.SearchBatchSpan(qs, k, esp)
+		} else {
+			out, failedAt, err = r.tieredPQ.SearchBatchSpan(qs, k, esp)
+		}
+		if err != nil {
+			return out, &BatchError{Index: failedAt, Err: err}
+		}
+		return out, nil
+	}
 	if r.linear != nil {
 		// The linear engine owns the batch policy: short batches run
 		// queries in turn with vault-parallel scans, long ones fan out
@@ -846,6 +1008,9 @@ func toDeviceStats(st ssamdev.QueryStats) DeviceStats {
 		VectorInstructions: st.VectorInsts,
 		DRAMBytesRead:      st.DRAMBytesRead,
 		ProcessingUnits:    st.PUs,
+		StorageBytesRead:   st.StorageBytesRead,
+		StorageCacheHits:   st.StorageCacheHits,
+		StorageStalls:      st.StorageStalls,
 	}
 }
 
@@ -888,6 +1053,21 @@ func (r *Region) QuantizedStats() (QuantizedCounters, bool) {
 	return r.pqEng.Counters(), true
 }
 
+// TieredCounters is a point-in-time view of a storage-backed region's
+// cumulative cache counters, safe to read concurrently with searches.
+type TieredCounters = tier.Counters
+
+// TieredStats returns the storage tier's cumulative counters (reads,
+// bytes read, cache hits/misses, evictions, prefetch hits, stalls,
+// residency) and whether the region is storage-backed. The counters
+// back the server's /metrics series.
+func (r *Region) TieredStats() (TieredCounters, bool) {
+	if r.store == nil {
+		return TieredCounters{}, false
+	}
+	return r.store.Counters(), true
+}
+
 // graphParams maps the region's index tuning onto graph construction;
 // zero values select the package defaults.
 func (ip IndexParams) graphParams() graph.Params {
@@ -924,6 +1104,10 @@ func (r *Region) Device() *ssamdev.Device { return r.device }
 func (r *Region) Free() {
 	r.freed = true
 	r.dropStore()
+	if r.store != nil {
+		r.store.Close()
+	}
+	r.store, r.tiered, r.tieredPQ = nil, nil, nil
 	r.data, r.codes = nil, nil
 	r.linear, r.hamming, r.forest, r.kmTree, r.mplsh, r.graphIdx, r.pqEng = nil, nil, nil, nil, nil, nil, nil
 	r.device, r.devTree, r.devKMTree, r.devLSH, r.devGraph, r.devPQ = nil, nil, nil, nil, nil, nil

@@ -10,6 +10,7 @@ package ssam_test
 
 import (
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"ssam"
@@ -66,6 +67,30 @@ func BenchmarkSearchPQ(b *testing.B) {
 		Mode:  ssam.Quantized,
 		Index: ssam.IndexParams{Rerank: 64, Seed: 3},
 	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegionSearchTiered is the storage-backed linear scan on the
+// exact shape of BenchmarkRegionSearchHost (4096 x 64, k=10) with an
+// unlimited cache budget, so every page is resident after the first
+// pass: the ratio between their ns/op is the pure overhead of serving
+// through the tier store (page pins + merge) that ci.sh
+// regression-checks against a 1.2x bar.
+func BenchmarkRegionSearchTiered(b *testing.B) {
+	r, q := benchRegionMode(b, 4096, 64, ssam.Config{
+		Storage: &ssam.Storage{
+			Path:     filepath.Join(b.TempDir(), "bench.tier"),
+			Prefetch: true,
+		},
+	})
+	if _, err := r.Search(q, 10); err != nil { // warm the cache
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Search(q, 10); err != nil {

@@ -225,6 +225,28 @@ type IndexParams struct {
 	Seed int64
 }
 
+// Storage backs a region's full-precision vectors with a file served
+// through an admission-controlled page cache, so the region can serve
+// datasets larger than the configured memory budget (the ann_in_ssd
+// out-of-core arrangement). Pages are the region's vault chunks, which
+// keeps out-of-core results bit-identical to in-RAM: the same bytes
+// feed the same kernels in the same merge order. Supported for Linear
+// and Quantized modes on float metrics; storage-backed regions are
+// immutable (Upsert/Delete return an error).
+type Storage struct {
+	// Path is the backing file, written by BuildIndex. Required for
+	// Host execution; optional for Device execution, where the storage
+	// tier is priced analytically by the device model instead.
+	Path string
+	// BudgetBytes caps the bytes of vector pages resident in memory
+	// (0 = unlimited). Budgets below one page degrade to streaming
+	// reads: correct, every scan re-reads the file.
+	BudgetBytes int64
+	// Prefetch overlaps the next vault's read with the current vault's
+	// scan.
+	Prefetch bool
+}
+
 // Config configures a region at allocation time.
 type Config struct {
 	Metric    Metric
@@ -246,6 +268,9 @@ type Config struct {
 	Vaults int
 	// Index tunes approximate modes.
 	Index IndexParams
+	// Storage, when non-nil, backs the region's vectors with a file
+	// behind a budgeted page cache (out-of-core serving). See Storage.
+	Storage *Storage
 }
 
 // DeviceStats reports the simulated execution of the last Device-mode
@@ -264,6 +289,15 @@ type DeviceStats struct {
 	DRAMBytesRead uint64
 	// ProcessingUnits is the module's total PU count.
 	ProcessingUnits int
+	// StorageBytesRead, StorageCacheHits and StorageStalls report the
+	// modeled storage tier of a device with attached storage
+	// (ssam.Storage on a Device region): bytes fetched from the backing
+	// device, page requests served from the device-side cache, and
+	// whole-queue stall events where the scan waited on storage. Zero
+	// when no storage is attached.
+	StorageBytesRead uint64
+	StorageCacheHits uint64
+	StorageStalls    uint64
 }
 
 // Throughput returns queries/second implied by the device latency.
